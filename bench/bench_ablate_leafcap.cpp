@@ -1,0 +1,39 @@
+// Ablation: leaf capacity k.
+// The paper's §5 recounts that allowing MULTIPLE bodies per leaf "essentially
+// eliminated the difference between tree-building algorithms" on CC-NUMA
+// machines (which is why PARTREE was shelved), while k=1 resurrects it. This
+// bench sweeps k on the Origin2000 and on Typhoon-0/HLRC and reports the
+// ORIG-vs-SPACE gap as a function of k.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "8192", "65536", "16");
+  banner("Ablation: leaf capacity k",
+         "tree-build cost vs k (paper §5: multiple bodies per leaf)");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  const int n = static_cast<int>(opt.sizes[0]);
+  for (const std::string platform : {"origin2000", "typhoon0_hlrc"}) {
+    Table t("leaf-capacity ablation, " + platform + ", n=" + size_label(n) + ", " +
+            std::to_string(np) + "p — treebuild seconds (speedup)");
+    t.set_header({"k", "ORIG", "LOCAL", "PARTREE", "SPACE"});
+    for (int k : {1, 2, 4, 8, 16}) {
+      std::vector<std::string> row = {std::to_string(k)};
+      for (Algorithm alg : {Algorithm::kOrig, Algorithm::kLocal, Algorithm::kPartree,
+                            Algorithm::kSpace}) {
+        ExperimentSpec spec = make_spec(platform, alg, n, np, opt);
+        spec.bh.leaf_cap = k;
+        const auto r = runner.run(spec);
+        row.push_back(Table::num(r.treebuild_seconds, 3) + " (" +
+                      fmt_speedup(r.speedup) + ")");
+      }
+      t.add_row(row);
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation: SPLASH-style ALOCK lock pools.
+// The original SPLASH/SPLASH-2 codes do not allocate one lock per cell: cell
+// locks are hashed into a fixed lock array, so unrelated cells contend on the
+// same lock. This bench sweeps the pool size for the LOCAL builder and shows
+// the false-lock-contention cost (virtual lock-wait time per processor) and
+// its effect on application speedup.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "8192", "65536", "16");
+  banner("Ablation: ALOCK pool size", "false lock contention (SPLASH lock hashing)");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  const int n = static_cast<int>(opt.sizes[0]);
+  for (const std::string platform : {"origin2000", "typhoon0_hlrc"}) {
+    Table t("ALOCK ablation (LOCAL builder), " + platform + ", n=" + size_label(n) +
+            ", " + std::to_string(np) + "p");
+    t.set_header({"lock pool", "speedup", "treebuild(s)", "lock wait(s)/proc"});
+    for (int buckets : {8, 64, 512, 2048, 0}) {
+      ExperimentSpec spec = make_spec(platform, Algorithm::kLocal, n, np, opt);
+      spec.bh.lock_buckets = buckets;
+      const auto r = runner.run(spec);
+      t.add_row({buckets == 0 ? "per-cell" : std::to_string(buckets),
+                 fmt_speedup(r.speedup), Table::num(r.treebuild_seconds, 3),
+                 Table::num(r.lock_wait_seconds_avg, 4)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

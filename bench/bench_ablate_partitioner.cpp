@@ -1,0 +1,37 @@
+// Ablation: costzones vs. orthogonal recursive bisection (ORB).
+// The paper's lineage (Singh et al. [3]) replaced Salmon's ORB with costzones
+// on shared-memory machines. This bench compares the two partitioners under
+// the LOCAL and SPACE builders on the Origin2000 and the SVM Typhoon-0:
+// costzones partitions in tree order (cheap, cache-friendly); ORB pays a
+// replicated O(n log n) bisection each step.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "8192", "65536", "16");
+  banner("Ablation: partitioner", "costzones [3] vs ORB [4]");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  const int n = static_cast<int>(opt.sizes[0]);
+  for (const std::string platform : {"origin2000", "typhoon0_hlrc"}) {
+    Table t("partitioner ablation, " + platform + ", n=" + size_label(n) + ", " +
+            std::to_string(np) + "p — speedup (partition phase s)");
+    t.set_header({"algorithm", "costzones", "ORB"});
+    for (Algorithm alg : {Algorithm::kLocal, Algorithm::kSpace}) {
+      std::vector<std::string> row = {algorithm_name(alg)};
+      for (Partitioner part : {Partitioner::kCostzones, Partitioner::kOrb}) {
+        ExperimentSpec spec = make_spec(platform, alg, n, np, opt);
+        spec.bh.partitioner = part;
+        const auto r = runner.run(spec);
+        row.push_back(fmt_speedup(r.speedup) + " (" +
+                      Table::num(r.run.phase(Phase::kPartition) * 1e-9, 3) + ")");
+      }
+      t.add_row(row);
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

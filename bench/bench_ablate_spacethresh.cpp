@@ -1,0 +1,34 @@
+// Ablation: SPACE subdivision threshold.
+// Paper §2.5: "the trade-off between load imbalance and partitioning time is
+// influenced by the value of the threshold used in subdividing cells". Small
+// thresholds give fine load balance but a deeper partitioning pass (more
+// counting rounds, more subspaces, more cross-processor body gathering);
+// large thresholds give few subspaces and imbalance.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "8192", "65536", "16");
+  banner("Ablation: SPACE threshold", "load balance vs partitioning cost (paper §2.5)");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  const int n = static_cast<int>(opt.sizes[0]);
+  for (const std::string platform : {"typhoon0_hlrc", "origin2000"}) {
+    Table t("SPACE threshold ablation, " + platform + ", n=" + size_label(n) + ", " +
+            std::to_string(np) + "p");
+    t.set_header({"threshold", "treebuild(s)", "app speedup", "tb speedup"});
+    for (int thresh : {n / 256, n / 64, n / 16, n / 4, n}) {
+      if (thresh < 8) continue;
+      ExperimentSpec spec = make_spec(platform, Algorithm::kSpace, n, np, opt);
+      spec.bh.space_threshold = thresh;
+      const auto r = runner.run(spec);
+      t.add_row({std::to_string(thresh), Table::num(r.treebuild_seconds, 3),
+                 fmt_speedup(r.speedup), fmt_speedup(r.treebuild_speedup)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every binary reproduces one table or figure of the paper. By default the
+// sweeps run scaled-down body counts so the whole bench suite completes in
+// minutes on a laptop; pass --full to run the paper's largest sizes
+// (hundreds of thousands of bodies — slow on the execution-driven simulator).
+// Pass --procs / --sizes / --steps to override any sweep dimension.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "treebuild/types.hpp"
+
+namespace ptb::bench {
+
+struct BenchOptions {
+  std::vector<std::int64_t> sizes;
+  std::vector<std::int64_t> procs;
+  int warmup = 1;
+  int measured = 2;
+  bool full = false;
+};
+
+/// Parses the standard flags. `default_sizes`/`default_procs` are the quick
+/// defaults; `full_sizes` replaces the sizes when --full is given.
+inline BenchOptions parse_options(int argc, char** argv, const std::string& default_sizes,
+                                  const std::string& full_sizes,
+                                  const std::string& default_procs) {
+  Cli cli(argc, argv);
+  BenchOptions opt;
+  opt.full = cli.get_bool("full", false, "run the paper-scale problem sizes (slow)");
+  const std::string sizes =
+      cli.get_string("sizes", opt.full ? full_sizes : default_sizes,
+                     "comma-separated body counts");
+  const std::string procs = cli.get_string("procs", default_procs,
+                                           "comma-separated processor counts");
+  opt.warmup = static_cast<int>(cli.get_int("warmup", 1, "warm-up steps (untimed)"));
+  opt.measured = static_cast<int>(cli.get_int("steps", 2, "measured time-steps"));
+  cli.finish();
+  // Parse the comma-separated lists.
+  auto parse_list = [](const std::string& v) {
+    std::vector<std::int64_t> out;
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+      std::size_t next = v.find(',', pos);
+      if (next == std::string::npos) next = v.size();
+      out.push_back(std::strtoll(v.substr(pos, next - pos).c_str(), nullptr, 10));
+      pos = next + 1;
+    }
+    return out;
+  };
+  opt.sizes = parse_list(sizes);
+  opt.procs = parse_list(procs);
+  return opt;
+}
+
+inline ExperimentSpec make_spec(const std::string& platform, Algorithm alg, int n, int np,
+                                const BenchOptions& opt) {
+  ExperimentSpec s;
+  s.platform = platform;
+  s.algorithm = alg;
+  s.n = n;
+  s.nprocs = np;
+  s.warmup_steps = opt.warmup;
+  s.measured_steps = opt.measured;
+  return s;
+}
+
+inline std::string size_label(std::int64_t n) {
+  if (n % 1024 == 0) return std::to_string(n / 1024) + "k";
+  return std::to_string(n);
+}
+
+/// Header banner shared by all bench binaries.
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("### %s — %s\n", id.c_str(), what.c_str());
+  std::printf("### (paper: Shan & Singh, IPPS'98; shapes, not absolute times, "
+              "are the reproduction target)\n\n");
+}
+
+}  // namespace ptb::bench

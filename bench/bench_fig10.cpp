@@ -1,0 +1,28 @@
+// Figure 10: whole-application speedups on the SGI Origin2000 for 16, 24 and
+// 30 processors at the paper's largest size (512k; scaled down by default).
+// Paper shape: LOCAL/UPDATE/PARTREE scale well, LOCAL best; ORIG flat.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "16384", "524288", "16,24,30");
+  banner("Figure 10", "speedup vs processor count on SGI Origin2000");
+
+  ExperimentRunner runner;
+  const int n = static_cast<int>(opt.sizes[0]);
+  Table t("Fig 10: speedup on origin2000, n=" + size_label(n));
+  std::vector<std::string> header = {"algorithm"};
+  for (auto p : opt.procs) header.push_back(std::to_string(p) + "p");
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto p : opt.procs) {
+      const auto r = runner.run(make_spec("origin2000", alg, n, static_cast<int>(p), opt));
+      row.push_back(fmt_speedup(r.speedup));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 11: tree-build share of total execution time on the SGI Origin2000
+// as the processor count grows (paper: 512k bodies, up to 30 processors).
+// Paper shape: ORIG's share climbs to ~60% at 30p; the others stay small.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "16384", "524288", "1,8,16,24,30");
+  banner("Figure 11", "tree-build share vs processor count on SGI Origin2000");
+
+  ExperimentRunner runner;
+  const int n = static_cast<int>(opt.sizes[0]);
+  Table t("Fig 11: tree-build % of total, origin2000, n=" + size_label(n));
+  std::vector<std::string> header = {"algorithm"};
+  for (auto p : opt.procs) header.push_back(std::to_string(p) + "p");
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto p : opt.procs) {
+      const auto r = runner.run(make_spec("origin2000", alg, n, static_cast<int>(p), opt));
+      row.push_back(fmt_percent(r.treebuild_fraction));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

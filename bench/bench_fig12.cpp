@@ -1,0 +1,34 @@
+// Figure 12: speedups and tree-build share on the Intel Paragon (HLRC shared
+// virtual memory, 16 processors).
+// The paper could only afford to run PARTREE and SPACE (the other three were
+// "almost intolerably long" — substantial slowdowns); we report all five by
+// default at reduced sizes so the slowdowns are visible, matching the text.
+// Paper shape: SPACE clearly best (the only one with real speedup; tree build
+// <20% of time); PARTREE second (~50% of time in tree build).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt =
+      parse_options(argc, argv, "8192,16384", "8192,16384,32768,65536", "16");
+  banner("Figure 12", "speedups + tree-build share on Intel Paragon (HLRC SVM)");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Fig 12: paragon (HLRC), " + std::to_string(np) +
+          " processors — speedup | treebuild%");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r = runner.run(make_spec("paragon", alg, static_cast<int>(n), np, opt));
+      row.push_back(fmt_speedup(r.speedup) + " | " + fmt_percent(r.treebuild_fraction));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 13: speedups and tree-build share on Typhoon-0 under the page-based
+// HLRC SVM protocol (16 processors), all five algorithms.
+// Paper shape: SPACE vastly outperforms; PARTREE second; ORIG/LOCAL/UPDATE
+// deliver SLOWDOWNS (down to ~16x slower than sequential at 64k); with the
+// lock-heavy algorithms nearly all time goes to tree building.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt =
+      parse_options(argc, argv, "8192,16384", "8192,16384,32768,65536", "16");
+  banner("Figure 13", "speedups + tree-build share on Typhoon-0 (HLRC SVM)");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Fig 13: typhoon0 (HLRC), " + std::to_string(np) +
+          " processors — speedup | treebuild%");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r =
+          runner.run(make_spec("typhoon0_hlrc", alg, static_cast<int>(n), np, opt));
+      row.push_back(fmt_speedup(r.speedup) + " | " + fmt_percent(r.treebuild_fraction));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 14: tree-building-phase speedups on Typhoon-0 under HLRC SVM
+// (16 processors).
+// Paper shape: poor everywhere — SPACE reaches ~1.5x; every other algorithm
+// is a slowdown (<1x) in the tree-build phase itself.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt =
+      parse_options(argc, argv, "8192,16384", "8192,16384,32768,65536", "16");
+  banner("Figure 14", "tree-build-phase speedups on Typhoon-0 (HLRC SVM)");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Fig 14: tree-build phase speedup, typhoon0 (HLRC), " + std::to_string(np) +
+          " processors");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r =
+          runner.run(make_spec("typhoon0_hlrc", alg, static_cast<int>(n), np, opt));
+      row.push_back(fmt_speedup(r.treebuild_speedup));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 15: number of lock acquisitions per processor during the tree-build
+// phase (two timed steps, 16 processors; paper: 64k bodies) on Typhoon-0
+// (HLRC) and on the Origin2000.
+// Paper shape: lock counts fall off very quickly from ORIG to SPACE (which is
+// zero); HLRC requires additional synchronization vs. the Origin.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "16384", "65536", "16");
+  banner("Figure 15", "tree-build lock acquisitions per processor");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  const int n = static_cast<int>(opt.sizes[0]);
+  for (const std::string platform : {"typhoon0_hlrc", "origin2000"}) {
+    Table t("Fig 15: locks per processor, " + platform + ", n=" + size_label(n) + ", " +
+            std::to_string(opt.measured) + " steps");
+    std::vector<std::string> header = {"algorithm", "total"};
+    for (int p = 0; p < np; ++p) header.push_back("P" + std::to_string(p));
+    t.set_header(header);
+    for (Algorithm alg : all_algorithms()) {
+      const auto r = runner.run(make_spec(platform, alg, n, np, opt));
+      std::vector<std::string> row = {algorithm_name(alg),
+                                      std::to_string(r.treebuild_locks_total)};
+      for (auto locks : r.treebuild_locks_per_proc) row.push_back(std::to_string(locks));
+      t.add_row(row);
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 6: whole-application speedups on the SGI Challenge (16 processors)
+// for the five tree-building algorithms across problem sizes.
+// Paper shape: all five between ~12 and ~15; LOCAL best, ORIG worst.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "8192,16384",
+                                   "8192,16384,32768,65536,131072", "16");
+  banner("Figure 6", "speedups on SGI Challenge, 16 processors");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Fig 6: speedup on challenge, " + std::to_string(np) + " processors");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r = runner.run(make_spec("challenge", alg, static_cast<int>(n), np, opt));
+      row.push_back(fmt_speedup(r.speedup));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

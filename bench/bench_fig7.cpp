@@ -1,0 +1,28 @@
+// Figure 7: tree-building cost as a percentage of total execution time on
+// the SGI Challenge (paper: 128k bodies; 4, 8, 16 processors).
+// Paper shape: small (<~10%) for the good algorithms, largest for ORIG.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "16384", "131072", "4,8,16");
+  banner("Figure 7", "tree-build share of total time on SGI Challenge");
+
+  ExperimentRunner runner;
+  const int n = static_cast<int>(opt.sizes[0]);
+  Table t("Fig 7: tree-build % of total time, challenge, n=" + size_label(n));
+  std::vector<std::string> header = {"algorithm"};
+  for (auto p : opt.procs) header.push_back(std::to_string(p) + "p");
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto p : opt.procs) {
+      const auto r = runner.run(make_spec("challenge", alg, n, static_cast<int>(p), opt));
+      row.push_back(fmt_percent(r.treebuild_fraction));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

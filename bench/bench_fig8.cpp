@@ -1,0 +1,32 @@
+// Figure 8: whole-application speedups on the SGI Origin2000 (30 processors)
+// across problem sizes.
+// Paper shape: LOCAL/UPDATE/PARTREE close together and best, SPACE slightly
+// behind (locality/load balance), ORIG far behind (false sharing + remote
+// misses), gap growing with problem size.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "8192,16384",
+                                   "8192,16384,32768,65536,131072,524288", "30");
+  banner("Figure 8", "speedups on SGI Origin2000, 30 processors");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Fig 8: speedup on origin2000, " + std::to_string(np) + " processors");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r =
+          runner.run(make_spec("origin2000", alg, static_cast<int>(n), np, opt));
+      row.push_back(fmt_speedup(r.speedup));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Native (google-benchmark) micro-benchmarks: real wall-clock throughput of
+// the tree builders and phases on the host machine with std::thread.
+// These complement the platform simulations — they measure the library as a
+// production parallel library on commodity multicore hardware.
+#include <benchmark/benchmark.h>
+
+#include "bh/seqtree.hpp"
+#include "harness/app.hpp"
+#include "rt/native_rt.hpp"
+#include "treebuild/local.hpp"
+#include "treebuild/orig.hpp"
+#include "treebuild/partree.hpp"
+#include "treebuild/space.hpp"
+#include "treebuild/update.hpp"
+
+namespace ptb {
+namespace {
+
+template <class Builder>
+void BM_NativeBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int np = static_cast<int>(state.range(1));
+  BHConfig cfg;
+  cfg.n = n;
+  AppState st = make_app_state(cfg, np);
+  NativeContext ctx(np);
+  Builder builder(st);
+  for (auto _ : state) {
+    ctx.run([&](NativeProc& rt) {
+      builder.build(rt);
+      rt.barrier();
+    });
+    benchmark::DoNotOptimize(st.tree.root);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SeqReferenceBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BHConfig cfg;
+  cfg.n = n;
+  const Bodies bodies = make_plummer(n, cfg.seed);
+  NodePool pool;
+  pool.init(static_cast<std::size_t>(n) * 2 + 1024);
+  for (auto _ : state) {
+    Node* root = SeqTree::build(bodies, cfg, pool);
+    benchmark::DoNotOptimize(root);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ForcePhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BHConfig cfg;
+  cfg.n = n;
+  AppState st = make_app_state(cfg, 1);
+  NativeContext ctx(1);
+  LocalBuilder builder(st);
+  ctx.run([&](NativeProc& rt) {
+    builder.build(rt);
+    rt.barrier();
+    moments_phase(rt, st);
+  });
+  for (auto _ : state) {
+    NativeContext fctx(1);
+    fctx.run([&](NativeProc& rt) { forces_phase(rt, st); });
+    benchmark::DoNotOptimize(st.bodies.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_SeqReferenceBuild)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForcePhase)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_TEMPLATE(BM_NativeBuild, OrigBuilder)
+    ->Args({16384, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Name("BM_NativeBuild<ORIG>");
+BENCHMARK_TEMPLATE(BM_NativeBuild, LocalBuilder)
+    ->Args({16384, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Name("BM_NativeBuild<LOCAL>");
+BENCHMARK_TEMPLATE(BM_NativeBuild, PartreeBuilder)
+    ->Args({16384, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Name("BM_NativeBuild<PARTREE>");
+BENCHMARK_TEMPLATE(BM_NativeBuild, SpaceBuilder)
+    ->Args({16384, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Name("BM_NativeBuild<SPACE>");
+
+}  // namespace
+}  // namespace ptb
+
+BENCHMARK_MAIN();

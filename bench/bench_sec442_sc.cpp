@@ -1,0 +1,34 @@
+// Section 4.4.2: Typhoon-0 under fine-grained SEQUENTIAL CONSISTENCY
+// (64-byte access control, software protocol), 16 processors.
+// Paper shape: the gap between algorithms compresses dramatically compared to
+// HLRC on the same hardware. LOCAL best (~7x at 16k), ORIG worst (false
+// sharing at 64 B is expensive when every miss is a software handler),
+// UPDATE/PARTREE/SPACE clustered around ~4x.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt =
+      parse_options(argc, argv, "8192,16384", "8192,16384,32768,65536", "16");
+  banner("Section 4.4.2", "speedups on Typhoon-0 under fine-grain SC");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Sec 4.4.2: typhoon0 (fine-grain SC), " + std::to_string(np) +
+          " processors — speedup | treebuild%");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r =
+          runner.run(make_spec("typhoon0_sc", alg, static_cast<int>(n), np, opt));
+      row.push_back(fmt_speedup(r.speedup) + " | " + fmt_percent(r.treebuild_fraction));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

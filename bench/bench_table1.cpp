@@ -1,0 +1,33 @@
+// Table 1: best sequential execution time on each of the four platforms,
+// across problem sizes.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt =
+      parse_options(argc, argv, "8192,16384,32768", "8192,16384,32768,65536,131072,524288",
+                    "1");
+  banner("Table 1", "best sequential time (seconds) on the four platforms");
+
+  ExperimentRunner runner;
+  const std::vector<std::string> platforms = {"origin2000", "challenge", "typhoon0_hlrc",
+                                              "paragon"};
+  Table t("Table 1: sequential execution time (s), " + std::to_string(opt.measured) +
+          " timed steps");
+  std::vector<std::string> header = {"platform"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (const auto& platform : platforms) {
+    std::vector<std::string> row = {platform};
+    for (auto n : opt.sizes) {
+      BHConfig bh;
+      const double s = runner.sequential_seconds(platform, static_cast<int>(n), bh,
+                                                 opt.warmup, opt.measured);
+      row.push_back(Table::num(s, 2));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

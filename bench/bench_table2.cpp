@@ -1,0 +1,30 @@
+// Table 2: time spent in BARRIER operations on the SGI Origin2000 with 16
+// processors (paper: 64k and 512k bodies).
+// Paper shape: ORIG's barrier time ~15x LOCAL's (load imbalance from remote
+// misses and false sharing accumulates at barriers); UPDATE distant second.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  using namespace ptb::bench;
+  BenchOptions opt = parse_options(argc, argv, "16384,32768", "65536,524288", "16");
+  banner("Table 2", "BARRIER time (s, mean per processor) on SGI Origin2000");
+
+  ExperimentRunner runner;
+  const int np = static_cast<int>(opt.procs[0]);
+  Table t("Table 2: barrier time (s), origin2000, " + std::to_string(np) + " processors");
+  std::vector<std::string> header = {"algorithm"};
+  for (auto n : opt.sizes) header.push_back(size_label(n));
+  t.set_header(header);
+  for (Algorithm alg : all_algorithms()) {
+    std::vector<std::string> row = {algorithm_name(alg)};
+    for (auto n : opt.sizes) {
+      const auto r =
+          runner.run(make_spec("origin2000", alg, static_cast<int>(n), np, opt));
+      row.push_back(Table::num(r.barrier_wait_seconds_avg, 4));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Colliding galaxies: a strongly time-varying workload that stresses the
+// UPDATE builder — as the clusters interpenetrate, many bodies cross their
+// leaf bounds each step, so the cost of incremental maintenance grows.
+// Prints, per step, how many lock acquisitions UPDATE needed (a proxy for the
+// number of relocations) versus a full LOCAL rebuild.
+//
+//   ./examples/colliding_galaxies --n 16384 --threads 4 --steps 12
+#include <cstdio>
+
+#include "bh/generate.hpp"
+#include "bh/verify.hpp"
+#include "harness/app.hpp"
+#include "rt/native_rt.hpp"
+#include "support/cli.hpp"
+#include "treebuild/local.hpp"
+#include "treebuild/update.hpp"
+
+namespace {
+
+template <class Builder>
+std::vector<std::uint64_t> per_step_locks(ptb::AppState& st, int threads, int steps) {
+  using namespace ptb;
+  NativeContext ctx(threads);
+  Builder builder(st);
+  std::vector<std::uint64_t> locks;
+  for (int s = 0; s < steps; ++s) {
+    ctx.reset_stats();
+    ctx.run([&](NativeProc& rt) {
+      rt.begin_phase(Phase::kTreeBuild);
+      timestep(rt, st, builder, true);
+    });
+    std::uint64_t step_locks = 0;
+    for (const auto& ps : ctx.stats())
+      step_locks += ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)];
+    locks.push_back(step_locks);
+  }
+  return locks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 16384, "number of bodies"));
+  const int threads = static_cast<int>(cli.get_int("threads", 4, "worker threads"));
+  const int steps = static_cast<int>(cli.get_int("steps", 12, "time-steps"));
+  cli.finish();
+
+  BHConfig cfg;
+  cfg.n = n;
+  cfg.dt = 0.05;
+
+  AppState update_st;
+  update_st.cfg = cfg;
+  update_st.init(make_colliding_pair(n, cfg.seed), threads);
+  update_st.cfg = cfg;
+  AppState local_st;
+  local_st.cfg = cfg;
+  local_st.init(make_colliding_pair(n, cfg.seed), threads);
+  local_st.cfg = cfg;
+
+  std::printf("colliding_galaxies: two Plummer spheres of %d bodies approaching\n\n",
+              n / 2);
+  const auto update_locks = per_step_locks<UpdateBuilder>(update_st, threads, steps);
+  const auto local_locks = per_step_locks<LocalBuilder>(local_st, threads, steps);
+
+  std::printf("%-6s %18s %18s\n", "step", "UPDATE locks", "LOCAL (rebuild) locks");
+  for (int s = 0; s < steps; ++s) {
+    std::printf("%-6d %18llu %18llu\n", s,
+                static_cast<unsigned long long>(update_locks[static_cast<std::size_t>(s)]),
+                static_cast<unsigned long long>(local_locks[static_cast<std::size_t>(s)]));
+  }
+  std::printf(
+      "\nStep 0 is the initial build (UPDATE == a full locked build). From\n"
+      "step 1 on, UPDATE only locks for bodies that crossed leaf bounds —\n"
+      "watch the count rise as the collision gets violent.\n");
+
+  // Both trajectories must agree: the physics does not depend on the builder.
+  double drift = 0.0;
+  for (int i = 0; i < n; ++i)
+    drift = std::max(drift, norm(update_st.bodies[static_cast<std::size_t>(i)].pos -
+                                 local_st.bodies[static_cast<std::size_t>(i)].pos));
+  std::printf("\nmax position divergence UPDATE vs rebuild: %.2e (theta-level noise)\n",
+              drift);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// ptbsim — the kitchen-sink experiment driver.
+//
+// Runs one fully-specified configuration (platform, algorithm, workload,
+// partitioner, tuning knobs) on the platform simulator and reports speedup,
+// per-phase breakdown, synchronization and memory-system statistics. With
+// --csv the result is emitted as a single machine-readable line (with a
+// header via --csv-header), so sweeps can be scripted:
+//
+//   for a in ORIG LOCAL UPDATE PARTREE SPACE; do
+//     ./examples/ptbsim --platform typhoon0_hlrc --algorithm $a --n 16384 --csv
+//   done
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  Cli cli(argc, argv);
+  ExperimentSpec spec;
+  spec.platform = cli.get_string("platform", "typhoon0_hlrc",
+                                 "ideal|challenge|origin2000|paragon|typhoon0_hlrc|typhoon0_sc");
+  spec.algorithm = algorithm_from_name(
+      cli.get_string("algorithm", "SPACE", "ORIG|LOCAL|UPDATE|PARTREE|SPACE"));
+  spec.n = static_cast<int>(cli.get_int("n", 16384, "number of bodies"));
+  spec.nprocs = static_cast<int>(cli.get_int("procs", 16, "simulated processors"));
+  spec.warmup_steps = static_cast<int>(cli.get_int("warmup", 2, "untimed steps"));
+  spec.measured_steps = static_cast<int>(cli.get_int("steps", 2, "timed steps"));
+  spec.bh.theta = cli.get_double("theta", 1.0, "opening criterion");
+  spec.bh.leaf_cap = static_cast<int>(cli.get_int("leaf-cap", 8, "bodies per leaf"));
+  spec.bh.space_threshold = static_cast<int>(
+      cli.get_int("space-threshold", 0, "SPACE subdivision threshold (0 = auto)"));
+  spec.bh.lock_buckets = static_cast<int>(
+      cli.get_int("lock-buckets", 0, "ALOCK pool size (0 = per-cell locks)"));
+  spec.bh.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345, "RNG seed"));
+  spec.bh.partitioner = cli.get_string("partitioner", "costzones", "costzones|orb") == "orb"
+                            ? Partitioner::kOrb
+                            : Partitioner::kCostzones;
+  const bool csv = cli.get_bool("csv", false, "emit one CSV line instead of tables");
+  const bool csv_header = cli.get_bool("csv-header", false, "print the CSV header line");
+  cli.finish();
+
+  if (csv_header) {
+    std::printf("platform,algorithm,n,procs,seq_s,par_s,speedup,treebuild_s,"
+                "treebuild_frac,treebuild_speedup,locks,lock_wait_s,barrier_wait_s,"
+                "page_faults,remote_misses,invalidations\n");
+    if (!csv) return 0;
+  }
+
+  ExperimentRunner runner;
+  const ExperimentResult r = runner.run(spec);
+
+  if (csv) {
+    std::printf("%s,%s,%d,%d,%.6f,%.6f,%.3f,%.6f,%.4f,%.3f,%llu,%.6f,%.6f,%llu,%llu,%llu\n",
+                spec.platform.c_str(), algorithm_name(spec.algorithm), spec.n,
+                spec.nprocs, r.seq_seconds, r.par_seconds, r.speedup,
+                r.treebuild_seconds, r.treebuild_fraction, r.treebuild_speedup,
+                static_cast<unsigned long long>(r.treebuild_locks_total),
+                r.lock_wait_seconds_avg, r.barrier_wait_seconds_avg,
+                static_cast<unsigned long long>(r.mem.page_faults),
+                static_cast<unsigned long long>(r.mem.remote_misses),
+                static_cast<unsigned long long>(r.mem.invalidations_sent));
+    return 0;
+  }
+
+  std::printf("%s\n\n", summarize(spec, r).c_str());
+
+  Table phases("per-phase virtual time (measured steps)");
+  phases.set_header({"phase", "seconds", "share"});
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    if (ph == static_cast<int>(Phase::kOther)) continue;
+    const double s = r.run.phase_ns[static_cast<std::size_t>(ph)] * 1e-9;
+    phases.add_row({phase_name(static_cast<Phase>(ph)), Table::num(s, 4),
+                    fmt_percent(s / (r.par_seconds > 0 ? r.par_seconds : 1.0))});
+  }
+  phases.print();
+
+  Table sync("synchronization & memory-system events (whole run)");
+  sync.set_header({"metric", "value"});
+  sync.add_row({"tree-build lock acquisitions", std::to_string(r.treebuild_locks_total)});
+  sync.add_row({"mean lock wait / proc", fmt_seconds(r.lock_wait_seconds_avg)});
+  sync.add_row({"mean barrier wait / proc", fmt_seconds(r.barrier_wait_seconds_avg)});
+  sync.add_row({"page faults", std::to_string(r.mem.page_faults)});
+  sync.add_row({"twins / diffs", std::to_string(r.mem.twins) + " / " +
+                                     std::to_string(r.mem.diffs)});
+  sync.add_row({"write notices received", std::to_string(r.mem.notices_received)});
+  sync.add_row({"read misses (hw)", std::to_string(r.mem.read_misses)});
+  sync.add_row({"remote misses (hw)", std::to_string(r.mem.remote_misses)});
+  sync.add_row({"invalidations sent (hw)", std::to_string(r.mem.invalidations_sent)});
+  sync.print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Axis-aligned cubic bounding volumes for octree cells.
+//
+// Cells are always cubes (center + half-width); the root cube is the smallest
+// cube enclosing the bounding box of all bodies, expanded slightly so bodies
+// on the boundary fall strictly inside (mirrors SPLASH-2 `setbound`).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "bh/vec3.hpp"
+
+namespace ptb {
+
+struct Cube {
+  Vec3 center;
+  double half = 0.0;  // half of the side length
+
+  bool contains(const Vec3& p) const {
+    return p.x >= center.x - half && p.x < center.x + half && p.y >= center.y - half &&
+           p.y < center.y + half && p.z >= center.z - half && p.z < center.z + half;
+  }
+
+  /// Octant index of p relative to the center: bit 0 = x high, bit 1 = y high,
+  /// bit 2 = z high. This ordering is shared by every tree builder so that
+  /// trees built by different algorithms are structurally comparable.
+  int octant_of(const Vec3& p) const {
+    int o = 0;
+    if (p.x >= center.x) o |= 1;
+    if (p.y >= center.y) o |= 2;
+    if (p.z >= center.z) o |= 4;
+    return o;
+  }
+
+  /// The sub-cube for a given octant index.
+  Cube child(int octant) const {
+    const double q = half * 0.5;
+    return Cube{Vec3{center.x + ((octant & 1) ? q : -q), center.y + ((octant & 2) ? q : -q),
+                     center.z + ((octant & 4) ? q : -q)},
+                q};
+  }
+};
+
+/// Smallest cube (with 1% padding) enclosing all positions. The padding keeps
+/// boundary bodies strictly inside so `contains` semantics are unambiguous.
+Cube bounding_cube(std::span<const Vec3> positions);
+
+/// Cube from a min/max corner pair (the same padding rule as bounding_cube;
+/// the parallel builders reduce per-processor bounds and must arrive at a
+/// bit-identical cube to the sequential reference).
+Cube cube_from_minmax(const Vec3& lo, const Vec3& hi);
+
+}  // namespace ptb

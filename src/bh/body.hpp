@@ -1,0 +1,34 @@
+// Body (particle) representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bh/vec3.hpp"
+#include "support/aligned.hpp"
+
+namespace ptb {
+
+/// One simulated particle. Layout mirrors the SPLASH codes: an array of Body
+/// lives in the shared arena; per-processor "body pointer" arrays hold indices
+/// into it, and reassignment across time-steps only rewrites the index arrays.
+struct Body {
+  Vec3 pos;
+  Vec3 vel;
+  Vec3 acc;
+  double mass = 0.0;
+  /// Work done for this body in the previous force phase (interaction count);
+  /// drives the costzones partitioner. Starts at 1 so that step 0 partitions
+  /// evenly.
+  double cost = 1.0;
+  /// Processor that owns this body for force-calculation/update (and, for the
+  /// ORIG/LOCAL/UPDATE/PARTREE builders, for tree building).
+  std::int32_t proc = 0;
+  /// Stable identity; bodies are permuted across phases and tests need to
+  /// track them.
+  std::int32_t id = 0;
+};
+
+using Bodies = AlignedVec<Body>;
+
+}  // namespace ptb

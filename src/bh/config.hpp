@@ -1,0 +1,51 @@
+// Simulation configuration shared by all phases and runtimes.
+#pragma once
+
+#include <cstdint>
+
+namespace ptb {
+
+/// Which partitioner assigns bodies to processors for the force/update
+/// phases: costzones (Singh et al. [3], the paper's choice) or orthogonal
+/// recursive bisection (Salmon [4], the message-passing lineage).
+enum class Partitioner : int { kCostzones = 0, kOrb = 1 };
+
+struct BHConfig {
+  /// Number of bodies.
+  int n = 16384;
+  /// Barnes–Hut opening criterion: a cell of side s at distance d is accepted
+  /// when s/d < theta.
+  double theta = 1.0;
+  /// Plummer softening length.
+  double eps = 0.05;
+  /// Integration step.
+  double dt = 0.025;
+  /// Leaf subdivision threshold k (paper §2.1: "whenever the number of
+  /// particles in a cell exceeds a fixed number k"). Must be <= kLeafCapacity.
+  int leaf_cap = 8;
+  /// SPACE builder: a subspace is recursively subdivided while it holds more
+  /// than this many bodies (paper §2.5). <= 0 means "auto": choose
+  /// max(leaf_cap, n / (8 * nproc)) at run time, which keeps the partitioning
+  /// tree "usually below 4" levels as in the paper while giving each
+  /// processor several subspaces for load balance.
+  int space_threshold = 0;
+  /// Hard recursion depth limit (coincident bodies guard).
+  int max_level = 48;
+  /// Cell-lock pool size, as in the SPLASH codes' ALOCK arrays: node locks
+  /// are hashed into this many buckets, so distinct cells can contend on the
+  /// same lock (false lock contention). <= 0 means one lock per node (the
+  /// default; what modern codes would do).
+  int lock_buckets = 0;
+  /// RNG seed for the galaxy generator.
+  std::uint64_t seed = 12345;
+  /// Body-to-processor partitioning scheme for the compute phases.
+  Partitioner partitioner = Partitioner::kCostzones;
+
+  int effective_space_threshold(int nproc) const {
+    if (space_threshold > 0) return space_threshold;
+    const int auto_thresh = n / (8 * nproc > 0 ? 8 * nproc : 8);
+    return auto_thresh > leaf_cap ? auto_thresh : leaf_cap;
+  }
+};
+
+}  // namespace ptb

@@ -1,0 +1,52 @@
+#include "bh/diagnostics.hpp"
+
+#include <cmath>
+
+namespace ptb {
+
+EnergyReport total_energy(std::span<const Body> bodies, double eps) {
+  EnergyReport r;
+  const double eps2 = eps * eps;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    r.kinetic += 0.5 * bodies[i].mass * norm2(bodies[i].vel);
+    for (std::size_t j = i + 1; j < bodies.size(); ++j) {
+      const double d = std::sqrt(norm2(bodies[i].pos - bodies[j].pos) + eps2);
+      r.potential -= bodies[i].mass * bodies[j].mass / d;
+    }
+  }
+  return r;
+}
+
+Vec3 total_momentum(std::span<const Body> bodies) {
+  Vec3 p{};
+  for (const Body& b : bodies) p += b.mass * b.vel;
+  return p;
+}
+
+Vec3 total_angular_momentum(std::span<const Body> bodies) {
+  Vec3 l{};
+  for (const Body& b : bodies) {
+    // L += m * (r x v)
+    l.x += b.mass * (b.pos.y * b.vel.z - b.pos.z * b.vel.y);
+    l.y += b.mass * (b.pos.z * b.vel.x - b.pos.x * b.vel.z);
+    l.z += b.mass * (b.pos.x * b.vel.y - b.pos.y * b.vel.x);
+  }
+  return l;
+}
+
+Vec3 center_of_mass(std::span<const Body> bodies) {
+  Vec3 c{};
+  double m = 0.0;
+  for (const Body& b : bodies) {
+    c += b.mass * b.pos;
+    m += b.mass;
+  }
+  return m > 0.0 ? (1.0 / m) * c : c;
+}
+
+double relative_drift(double a, double b, double floor) {
+  const double scale = std::max(floor, std::max(std::abs(a), std::abs(b)));
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace ptb

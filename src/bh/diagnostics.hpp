@@ -1,0 +1,38 @@
+// Physics diagnostics for validating simulations: energy, momentum, angular
+// momentum, virial ratio, and center-of-mass drift. The energy computation is
+// the exact O(N^2) sum (use on modest N or on samples).
+#pragma once
+
+#include <span>
+
+#include "bh/body.hpp"
+
+namespace ptb {
+
+struct EnergyReport {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  double total() const { return kinetic + potential; }
+  /// |2T / U| — ~1 for a virialized system.
+  double virial_ratio() const {
+    return potential != 0.0 ? std::abs(2.0 * kinetic / potential) : 0.0;
+  }
+};
+
+/// Exact energies with Plummer softening eps (matches the force law used by
+/// the force phase).
+EnergyReport total_energy(std::span<const Body> bodies, double eps);
+
+/// Total linear momentum (conserved exactly by leapfrog up to force error).
+Vec3 total_momentum(std::span<const Body> bodies);
+
+/// Total angular momentum about the origin.
+Vec3 total_angular_momentum(std::span<const Body> bodies);
+
+/// Mass-weighted center of mass.
+Vec3 center_of_mass(std::span<const Body> bodies);
+
+/// Relative drift |a - b| / max(|a|, floor): convenience for test tolerances.
+double relative_drift(double a, double b, double floor = 1e-12);
+
+}  // namespace ptb

@@ -1,0 +1,134 @@
+#include "bh/generate.hpp"
+
+#include <cmath>
+
+#include "bh/aabb.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ptb {
+namespace {
+
+constexpr double kMFrac = 0.999;  // mass cut-off fraction (SPLASH-2)
+
+Vec3 pick_shell(Rng& rng, double rad) {
+  // Uniform direction on the sphere of radius rad (rejection from the cube).
+  for (;;) {
+    Vec3 v{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const double rsq = norm2(v);
+    if (rsq > 0.0 && rsq <= 1.0) {
+      const double scale = rad / std::sqrt(rsq);
+      return v * scale;
+    }
+  }
+}
+
+Bodies plummer_core(int n, Rng& rng) {
+  PTB_CHECK(n > 0);
+  const double rsc = 3.0 * M_PI / 16.0;           // radius scale (virial units)
+  const double vsc = std::sqrt(1.0 / rsc);        // velocity scale
+  Bodies bodies(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    Body& b = bodies[static_cast<std::size_t>(i)];
+    b.id = i;
+    b.mass = 1.0 / static_cast<double>(n);
+
+    // Radius from the cumulative mass profile, with the SPLASH mass cut.
+    const double m = kMFrac * rng.next_double();
+    const double r = 1.0 / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0);
+    b.pos = pick_shell(rng, rsc * r);
+
+    // Speed via von Neumann rejection from g(x) = x^2 (1 - x^2)^3.5.
+    double x, y;
+    do {
+      x = rng.next_double();
+      y = 0.1 * rng.next_double();
+    } while (y > x * x * std::pow(1.0 - x * x, 3.5));
+    const double v = x * std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    b.vel = pick_shell(rng, vsc * v);
+  }
+
+  // Zero the centre of mass and the mean momentum.
+  Vec3 cm_pos{}, cm_vel{};
+  for (const Body& b : bodies) {
+    cm_pos += b.mass * b.pos;
+    cm_vel += b.mass * b.vel;
+  }
+  for (Body& b : bodies) {
+    b.pos -= cm_pos;
+    b.vel -= cm_vel;
+  }
+  return bodies;
+}
+
+}  // namespace
+
+Bodies make_plummer(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  return plummer_core(n, rng);
+}
+
+Bodies make_uniform_cube(int n, std::uint64_t seed) {
+  PTB_CHECK(n > 0);
+  Rng rng(seed);
+  Bodies bodies(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Body& b = bodies[static_cast<std::size_t>(i)];
+    b.id = i;
+    b.mass = 1.0 / static_cast<double>(n);
+    b.pos = Vec3{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)};
+    b.vel = Vec3{rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05)};
+  }
+  return bodies;
+}
+
+Bodies make_colliding_pair(int n, std::uint64_t seed) {
+  PTB_CHECK(n >= 2);
+  Rng rng(seed);
+  const int n1 = n / 2;
+  const int n2 = n - n1;
+  Bodies a = plummer_core(n1, rng);
+  Bodies b = plummer_core(n2, rng);
+  const Vec3 offset{1.5, 0.2, 0.0};
+  const Vec3 approach{0.5, 0.0, 0.0};
+  for (Body& body : a) {
+    body.pos -= offset;
+    body.vel += approach;
+    body.mass *= 0.5;
+  }
+  for (Body& body : b) {
+    body.pos += offset;
+    body.vel -= approach;
+    body.mass *= 0.5;
+    body.id += n1;
+  }
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+Cube cube_from_minmax(const Vec3& lo, const Vec3& hi) {
+  const Vec3 center = 0.5 * (lo + hi);
+  double half = 0.0;
+  half = std::max(half, hi.x - center.x);
+  half = std::max(half, hi.y - center.y);
+  half = std::max(half, hi.z - center.z);
+  half = half * 1.01 + 1e-12;  // pad so boundary bodies are strictly inside
+  return Cube{center, half};
+}
+
+Cube bounding_cube(std::span<const Vec3> positions) {
+  PTB_CHECK(!positions.empty());
+  Vec3 lo{positions[0]}, hi{positions[0]};
+  for (const Vec3& p : positions) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  return cube_from_minmax(lo, hi);
+}
+
+}  // namespace ptb

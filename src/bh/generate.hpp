@@ -1,0 +1,28 @@
+// Initial-condition generators.
+//
+// The paper runs a 3-D Barnes–Hut galaxy simulation on Plummer-model initial
+// conditions (the SPLASH-2 BARNES default). We implement the classic Aarseth
+// construction, plus a uniform cube and a colliding two-cluster variant used
+// by the examples and tests to exercise non-centrally-condensed and strongly
+// irregular distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "bh/body.hpp"
+
+namespace ptb {
+
+/// Plummer sphere with total mass 1, scaled to virial units (Aarseth et al.,
+/// as in SPLASH-2 BARNES testdata.C). Deterministic in `seed`.
+Bodies make_plummer(int n, std::uint64_t seed);
+
+/// Uniform random positions in a unit cube centered at the origin, small
+/// random velocities.
+Bodies make_uniform_cube(int n, std::uint64_t seed);
+
+/// Two Plummer spheres of n/2 bodies each, separated along x and approaching
+/// each other — a strongly time-varying distribution that stresses UPDATE.
+Bodies make_colliding_pair(int n, std::uint64_t seed);
+
+}  // namespace ptb

@@ -1,0 +1,70 @@
+// 3-D Morton (Z-order) keys.
+//
+// Used by the costzones partitioner's traversal ordering tests and by the
+// canonicalizer to give bodies within a leaf a platform-independent order.
+#pragma once
+
+#include <cstdint>
+
+#include "bh/aabb.hpp"
+#include "bh/vec3.hpp"
+
+namespace ptb {
+
+/// Interleave the low 21 bits of x, y, z into a 63-bit Morton key.
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Inverse of morton_encode.
+void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y, std::uint32_t& z);
+
+/// Morton key of a point inside a bounding cube, quantized to 21 bits/axis.
+std::uint64_t morton_key(const Vec3& p, const Cube& root);
+
+namespace detail {
+
+constexpr std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffull;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffull;
+  v = (v | (v << 8)) & 0x100f00f00f00f00full;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+constexpr std::uint64_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ull;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ull;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00full;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffull;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffull;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return v;
+}
+
+}  // namespace detail
+
+inline std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return detail::spread3(x) | (detail::spread3(y) << 1) | (detail::spread3(z) << 2);
+}
+
+inline void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+                          std::uint32_t& z) {
+  x = static_cast<std::uint32_t>(detail::compact3(key));
+  y = static_cast<std::uint32_t>(detail::compact3(key >> 1));
+  z = static_cast<std::uint32_t>(detail::compact3(key >> 2));
+}
+
+inline std::uint64_t morton_key(const Vec3& p, const Cube& root) {
+  const double scale = 2097152.0;  // 2^21
+  auto quant = [&](double v, double c) {
+    double f = (v - (c - root.half)) / (2.0 * root.half);
+    if (f < 0.0) f = 0.0;
+    if (f >= 1.0) f = 0x1.fffffep-1;
+    return static_cast<std::uint32_t>(f * scale) & 0x1fffff;
+  };
+  return morton_encode(quant(p.x, root.center.x), quant(p.y, root.center.y),
+                       quant(p.z, root.center.z));
+}
+
+}  // namespace ptb

@@ -1,0 +1,100 @@
+// Canonical octree node.
+//
+// All five tree-building algorithms produce trees made of this node type; the
+// algorithms differ in *where* nodes are allocated (one global pool vs.
+// per-processor pools), *who* may touch a node during construction (locks vs.
+// spatial ownership) and *when* the tree is (re)built. Keeping one layout lets
+// the force/COM/update phases and the equivalence tests be shared, exactly
+// matching the paper's methodology ("we keep the other two phases the same").
+//
+// Concurrency contract (parallel builders):
+//  * `kind` and `child[]` are atomics: the lock-free descent reads them with
+//    acquire loads; writers publish with release stores while holding the
+//    node's lock. A leaf's conversion to a cell (to_cell) is the publication
+//    point for its freshly built children.
+//  * `bodies[]`, `nbodies` and `dead` are only accessed under the node's lock
+//    during mutation phases, or freely in read-only phases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "bh/aabb.hpp"
+#include "bh/vec3.hpp"
+
+namespace ptb {
+
+/// Compile-time capacity of a leaf. The runtime subdivision threshold
+/// (`BHConfig::leaf_cap`) must be <= this. SPLASH-2 uses 10; we default to 8.
+inline constexpr int kLeafCapacity = 16;
+
+enum class NodeKind : std::uint8_t { kCell = 0, kLeaf = 1 };
+
+struct Node {
+  // --- geometry (read on every traversal step) ---
+  Cube cube;
+
+  // --- summary, filled by the center-of-mass phase ---
+  Vec3 com;
+  double mass = 0.0;
+  /// Total force-phase cost of the bodies below this node (previous step);
+  /// used by the costzones partitioner.
+  double cost = 0.0;
+
+  // --- structure ---
+  std::atomic<Node*> child[8] = {};  // valid for cells
+  Node* parent = nullptr;
+  std::int32_t bodies[kLeafCapacity] = {};  // body indices, valid for leaves
+  std::int32_t nbodies = 0;                 // valid for leaves
+  std::atomic<NodeKind> kind{NodeKind::kLeaf};
+  /// Processor that created this node; it computes the node's COM. For
+  /// UPDATE, ownership persists across time-steps.
+  std::int16_t creator = 0;
+  std::uint8_t level = 0;
+  /// Which octant of the parent this node occupies (UPDATE re-derives cubes
+  /// from a fresh root cube through these).
+  std::uint8_t octant = 0;
+  /// Scratch flag used by UPDATE to mark reclaimed nodes.
+  bool dead = false;
+  /// Position in the creator's created-node list (swap-removal on reclaim).
+  std::int32_t created_idx = -1;
+
+  bool is_leaf(std::memory_order mo = std::memory_order_acquire) const {
+    return kind.load(mo) == NodeKind::kLeaf;
+  }
+  bool is_cell(std::memory_order mo = std::memory_order_acquire) const {
+    return kind.load(mo) == NodeKind::kCell;
+  }
+
+  Node* get_child(int o, std::memory_order mo = std::memory_order_acquire) const {
+    return child[o].load(mo);
+  }
+  void set_child(int o, Node* c, std::memory_order mo = std::memory_order_release) {
+    child[o].store(c, mo);
+  }
+
+  void init_leaf(const Cube& c, Node* p, int lvl, int creator_proc, int oct = 0) {
+    cube = c;
+    com = Vec3{};
+    mass = 0.0;
+    cost = 0.0;
+    for (auto& ch : child) ch.store(nullptr, std::memory_order_relaxed);
+    parent = p;
+    nbodies = 0;
+    kind.store(NodeKind::kLeaf, std::memory_order_relaxed);
+    creator = static_cast<std::int16_t>(creator_proc);
+    level = static_cast<std::uint8_t>(lvl);
+    octant = static_cast<std::uint8_t>(oct);
+    dead = false;
+  }
+
+  /// Converts a leaf into an (empty) internal cell, publishing any children
+  /// the caller prepared beforehand. The caller redistributes the previous
+  /// occupants first.
+  void to_cell() {
+    nbodies = 0;
+    kind.store(NodeKind::kCell, std::memory_order_release);
+  }
+};
+
+}  // namespace ptb

@@ -1,0 +1,87 @@
+// Node pools.
+//
+// ORIG allocates every cell from one contiguous shared array with a global
+// next-index counter (paper Fig. 1); LOCAL/UPDATE/PARTREE/SPACE give each
+// processor its own contiguous pool (paper Fig. 2). The pool is deliberately
+// dumb — a bump allocator over a pre-sized array — because the *addresses*
+// matter to the memory-system models: interleaved allocation from a shared
+// pool is precisely what creates ORIG's false sharing and remote misses.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "support/aligned.hpp"
+
+#include "bh/node.hpp"
+#include "support/check.hpp"
+
+namespace ptb {
+
+class NodePool {
+ public:
+  NodePool() = default;
+
+  // Movable so pools can live in std::vector (the atomic counter is copied
+  // by value; moves only happen during single-threaded setup).
+  NodePool(NodePool&& o) noexcept
+      : nodes_(std::move(o.nodes_)), capacity_(o.capacity_),
+        next_(o.next_.load(std::memory_order_relaxed)) {
+    o.capacity_ = 0;
+    o.next_.store(0, std::memory_order_relaxed);
+  }
+  NodePool& operator=(NodePool&& o) noexcept {
+    nodes_ = std::move(o.nodes_);
+    capacity_ = o.capacity_;
+    next_.store(o.next_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    o.capacity_ = 0;
+    o.next_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Allocates backing storage for `capacity` nodes. Must be called before
+  /// any take(); re-calling reallocates and resets the pool.
+  void init(std::size_t capacity) {
+    nodes_ = make_aligned_array<Node>(capacity);
+    capacity_ = capacity;
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Resets the bump pointer without releasing storage (start of a rebuild).
+  void reset() { next_.store(0, std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const {
+    return static_cast<std::size_t>(next_.load(std::memory_order_relaxed));
+  }
+
+  Node* base() { return nodes_.get(); }
+  const Node* base() const { return nodes_.get(); }
+  std::size_t size_bytes() const { return capacity_ * sizeof(Node); }
+
+  /// The shared next-index counter (ORIG fetch&adds this through the runtime
+  /// so the coherence models see the contention on its cache line).
+  std::atomic<std::int64_t>& counter() { return next_; }
+
+  /// Node at a previously reserved index.
+  Node* at(std::int64_t idx) {
+    PTB_CHECK_MSG(idx >= 0 && static_cast<std::size_t>(idx) < capacity_,
+                  "node pool exhausted — raise pool capacity");
+    return &nodes_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Single-owner allocation (per-processor pools; no atomicity needed).
+  Node* take() {
+    const std::int64_t idx = next_.load(std::memory_order_relaxed);
+    next_.store(idx + 1, std::memory_order_relaxed);
+    return at(idx);
+  }
+
+ private:
+  AlignedArrayPtr<Node> nodes_;
+  std::size_t capacity_ = 0;
+  std::atomic<std::int64_t> next_{0};
+};
+
+}  // namespace ptb

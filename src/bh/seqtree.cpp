@@ -1,0 +1,107 @@
+#include "bh/seqtree.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ptb {
+namespace {
+
+// Single-threaded child access: relaxed is sufficient.
+constexpr auto kSeq = std::memory_order_relaxed;
+
+}  // namespace
+
+Node* SeqTree::build(std::span<const Body> bodies, const BHConfig& cfg, NodePool& pool,
+                     int creator_of_all) {
+  PTB_CHECK(cfg.leaf_cap >= 1 && cfg.leaf_cap <= kLeafCapacity);
+  pool.reset();
+  std::vector<Vec3> pos(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) pos[i] = bodies[i].pos;
+  const Cube root_cube = bounding_cube(pos);
+
+  Node* root = pool.take();
+  root->init_leaf(root_cube, nullptr, 0, creator_of_all);
+  for (std::size_t i = 0; i < bodies.size(); ++i)
+    insert(root, bodies, static_cast<std::int32_t>(i), cfg, pool, creator_of_all);
+  return root;
+}
+
+void SeqTree::insert(Node* node, std::span<const Body> bodies, std::int32_t body_idx,
+                     const BHConfig& cfg, NodePool& pool, int creator) {
+  const Vec3& p = bodies[static_cast<std::size_t>(body_idx)].pos;
+  for (;;) {
+    PTB_DCHECK(node->cube.contains(p));
+    if (node->is_cell(kSeq)) {
+      const int o = node->cube.octant_of(p);
+      Node* next = node->get_child(o, kSeq);
+      if (next == nullptr) {
+        next = pool.take();
+        next->init_leaf(node->cube.child(o), node, node->level + 1, creator, o);
+        node->set_child(o, next, kSeq);
+      }
+      node = next;
+      continue;
+    }
+    // Leaf: append, subdividing on overflow.
+    if (node->nbodies < cfg.leaf_cap || node->level >= cfg.max_level) {
+      PTB_CHECK_MSG(node->nbodies < kLeafCapacity,
+                    "too many coincident bodies for kLeafCapacity at max_level");
+      node->bodies[node->nbodies++] = body_idx;
+      return;
+    }
+    // Subdivide: the node becomes a cell and its occupants are re-inserted
+    // one level down (they cannot overflow a fresh child past leaf_cap).
+    std::int32_t prev[kLeafCapacity];
+    const int nprev = node->nbodies;
+    for (int i = 0; i < nprev; ++i) prev[i] = node->bodies[i];
+    node->to_cell();
+    for (int i = 0; i < nprev; ++i) {
+      const Vec3& q = bodies[static_cast<std::size_t>(prev[i])].pos;
+      const int o = node->cube.octant_of(q);
+      Node* slot = node->get_child(o, kSeq);
+      if (slot == nullptr) {
+        slot = pool.take();
+        slot->init_leaf(node->cube.child(o), node, node->level + 1, creator, o);
+        node->set_child(o, slot, kSeq);
+      }
+      PTB_DCHECK(slot->is_leaf(kSeq));
+      slot->bodies[slot->nbodies++] = prev[i];
+    }
+    // Loop continues: descend with the new body.
+  }
+}
+
+void SeqTree::compute_moments(Node* node, std::span<const Body> bodies) {
+  if (node->is_leaf(kSeq)) {
+    Vec3 weighted{};
+    double mass = 0.0;
+    double cost = 0.0;
+    for (int i = 0; i < node->nbodies; ++i) {
+      const Body& b = bodies[static_cast<std::size_t>(node->bodies[i])];
+      weighted += b.mass * b.pos;
+      mass += b.mass;
+      cost += b.cost;
+    }
+    node->mass = mass;
+    node->cost = cost;
+    node->com = mass > 0.0 ? (1.0 / mass) * weighted : node->cube.center;
+    return;
+  }
+  Vec3 weighted{};
+  double mass = 0.0;
+  double cost = 0.0;
+  for (int o = 0; o < 8; ++o) {
+    Node* c = node->get_child(o, kSeq);
+    if (c == nullptr) continue;
+    compute_moments(c, bodies);
+    weighted += c->mass * c->com;
+    mass += c->mass;
+    cost += c->cost;
+  }
+  node->mass = mass;
+  node->cost = cost;
+  node->com = mass > 0.0 ? (1.0 / mass) * weighted : node->cube.center;
+}
+
+}  // namespace ptb

@@ -1,0 +1,36 @@
+// Sequential reference octree builder.
+//
+// This is the ground truth for the test suite: an independent, simple
+// recursive implementation against which all five parallel builders are
+// checked for structural equivalence. It is also the "best sequential
+// version" used as the speedup baseline (paper §4, Table 1) — tree building
+// with no locks, no pointer-array indirection, plus the shared sequential
+// force/COM/update phases.
+#pragma once
+
+#include <span>
+
+#include "bh/body.hpp"
+#include "bh/config.hpp"
+#include "bh/node.hpp"
+#include "bh/pool.hpp"
+
+namespace ptb {
+
+class SeqTree {
+ public:
+  /// Builds an octree over all bodies. The pool is reset first.
+  /// `creator_of_all` is recorded as the creator of every node.
+  static Node* build(std::span<const Body> bodies, const BHConfig& cfg, NodePool& pool,
+                     int creator_of_all = 0);
+
+  /// Inserts one body (by index) into the tree rooted at `root`.
+  /// Shared by the reference builder and by tests.
+  static void insert(Node* root, std::span<const Body> bodies, std::int32_t body_idx,
+                     const BHConfig& cfg, NodePool& pool, int creator);
+
+  /// Sequential bottom-up center-of-mass/cost pass.
+  static void compute_moments(Node* root, std::span<const Body> bodies);
+};
+
+}  // namespace ptb

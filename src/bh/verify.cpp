@@ -1,0 +1,150 @@
+#include "bh/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ptb {
+namespace {
+
+struct Checker {
+  std::span<const Body> bodies;
+  const BHConfig* cfg;
+  bool check_moments;
+  TreeCheckResult res;
+  std::vector<char> seen;  // per body index
+
+  void fail(const std::string& msg) {
+    if (res.ok) {
+      res.ok = false;
+      res.error = msg;
+    }
+  }
+
+  void walk(const Node* n, const Node* parent, int level) {
+    if (!res.ok) return;
+    ++res.node_count;
+    res.max_depth = std::max(res.max_depth, level);
+    if (n->dead) return fail("reachable node is marked dead");
+    if (n->parent != parent) return fail("bad parent pointer");
+    if (n->level != level) return fail("bad level");
+    if (parent != nullptr) {
+      const int o = parent->cube.octant_of(n->cube.center);
+      const Cube expect = parent->cube.child(o);
+      if (std::abs(expect.half - n->cube.half) > 1e-9 * expect.half ||
+          norm(expect.center - n->cube.center) > 1e-9 * expect.half)
+        return fail("child cube is not an octant of its parent");
+    }
+    if (n->is_leaf()) {
+      ++res.leaf_count;
+      if (n->nbodies < 0 || n->nbodies > kLeafCapacity) return fail("leaf count out of range");
+      if (n->nbodies > cfg->leaf_cap && level < cfg->max_level)
+        return fail("overfull leaf below max_level");
+      for (int i = 0; i < n->nbodies; ++i) {
+        const std::int32_t bi = n->bodies[i];
+        if (bi < 0 || static_cast<std::size_t>(bi) >= bodies.size())
+          return fail("leaf references invalid body index");
+        if (seen[static_cast<std::size_t>(bi)]) return fail("body appears in two leaves");
+        seen[static_cast<std::size_t>(bi)] = 1;
+        ++res.body_count;
+        if (!n->cube.contains(bodies[static_cast<std::size_t>(bi)].pos))
+          return fail("body outside its leaf cube");
+      }
+      if (check_moments) check_leaf_moments(n);
+      return;
+    }
+    if (n->nbodies != 0) return fail("cell has nbodies != 0");
+    bool any = false;
+    Vec3 weighted{};
+    double mass = 0.0;
+    for (int o = 0; o < 8; ++o) {
+      const Node* c = n->get_child(o, std::memory_order_relaxed);
+      if (c == nullptr) continue;
+      any = true;
+      walk(c, n, level + 1);
+      weighted += c->mass * c->com;
+      mass += c->mass;
+    }
+    if (!any && parent != nullptr) return fail("internal cell with no children");
+    if (check_moments && res.ok && mass > 0.0) {
+      const Vec3 com = (1.0 / mass) * weighted;
+      if (std::abs(mass - n->mass) > 1e-9 * std::max(1.0, mass) ||
+          norm(com - n->com) > 1e-7)
+        return fail("cell moments do not match children");
+    }
+  }
+
+  void check_leaf_moments(const Node* n) {
+    Vec3 weighted{};
+    double mass = 0.0;
+    for (int i = 0; i < n->nbodies; ++i) {
+      const Body& b = bodies[static_cast<std::size_t>(n->bodies[i])];
+      weighted += b.mass * b.pos;
+      mass += b.mass;
+    }
+    if (std::abs(mass - n->mass) > 1e-12 + 1e-9 * mass) return fail("leaf mass mismatch");
+    if (mass > 0.0 && norm((1.0 / mass) * weighted - n->com) > 1e-7)
+      fail("leaf COM mismatch");
+  }
+};
+
+void serialize(const Node* n, std::span<const Body> bodies, std::vector<std::uint64_t>& out) {
+  if (n->is_leaf()) {
+    out.push_back(0x1eaf0000ull + static_cast<std::uint64_t>(n->nbodies));
+    std::vector<std::uint64_t> ids;
+    ids.reserve(static_cast<std::size_t>(n->nbodies));
+    for (int i = 0; i < n->nbodies; ++i)
+      ids.push_back(static_cast<std::uint64_t>(
+          bodies[static_cast<std::size_t>(n->bodies[i])].id));
+    std::sort(ids.begin(), ids.end());
+    out.insert(out.end(), ids.begin(), ids.end());
+    return;
+  }
+  out.push_back(0xce110000ull);
+  for (int o = 0; o < 8; ++o) {
+    const Node* c = n->get_child(o, std::memory_order_relaxed);
+    if (c == nullptr) {
+      out.push_back(0xe3b70000ull);  // empty slot marker
+    } else {
+      out.push_back(0xc41d0000ull + static_cast<std::uint64_t>(o));
+      serialize(c, bodies, out);
+    }
+  }
+}
+
+}  // namespace
+
+TreeCheckResult check_tree(const Node* root, std::span<const Body> bodies,
+                           const BHConfig& cfg, bool check_moments) {
+  Checker c{bodies, &cfg, check_moments, {}, std::vector<char>(bodies.size(), 0)};
+  if (root == nullptr) {
+    c.fail("null root");
+    return c.res;
+  }
+  c.walk(root, nullptr, 0);
+  if (c.res.ok && c.res.body_count != static_cast<std::int64_t>(bodies.size())) {
+    std::ostringstream os;
+    os << "tree holds " << c.res.body_count << " bodies, expected " << bodies.size();
+    c.fail(os.str());
+  }
+  return c.res;
+}
+
+std::vector<std::uint64_t> canonical_serialization(const Node* root,
+                                                   std::span<const Body> bodies) {
+  std::vector<std::uint64_t> out;
+  out.reserve(bodies.size() * 2);
+  serialize(root, bodies, out);
+  return out;
+}
+
+std::uint64_t canonical_hash(const Node* root, std::span<const Body> bodies) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t w : canonical_serialization(root, bodies)) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace ptb

@@ -1,0 +1,49 @@
+// Octree invariant checking and structural canonicalization.
+//
+// Every parallel builder is validated against these invariants in the test
+// suite, and rebuild-style builders (ORIG/LOCAL/PARTREE/SPACE) are checked to
+// be structurally identical to the sequential reference via canonical hashes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bh/body.hpp"
+#include "bh/config.hpp"
+#include "bh/node.hpp"
+
+namespace ptb {
+
+struct TreeCheckResult {
+  bool ok = true;
+  std::string error;            // first violated invariant, human readable
+  int node_count = 0;
+  int leaf_count = 0;
+  int max_depth = 0;
+  std::int64_t body_count = 0;  // total bodies found in leaves
+};
+
+/// Verifies structural invariants of a built tree:
+///  * every body index appears in exactly one leaf;
+///  * every body lies inside its leaf's cube;
+///  * each leaf holds <= leaf_cap bodies (unless at max_level);
+///  * child cubes are the correct octants of their parents;
+///  * parent pointers and levels are consistent;
+///  * no dead (reclaimed) node is reachable.
+/// If `check_moments`, also verifies mass/COM/cost roll-ups to tolerance.
+TreeCheckResult check_tree(const Node* root, std::span<const Body> bodies,
+                           const BHConfig& cfg, bool check_moments = false);
+
+/// Canonical serialization of the tree shape: a pre-order walk emitting, for
+/// every node, its kind/octant-path and (for leaves) the sorted list of body
+/// *ids*. Two trees over the same bodies serialize identically iff they are
+/// the same octree. Useful both for equivalence checks and as a cheap hash.
+std::vector<std::uint64_t> canonical_serialization(const Node* root,
+                                                   std::span<const Body> bodies);
+
+/// FNV-1a hash of the canonical serialization.
+std::uint64_t canonical_hash(const Node* root, std::span<const Body> bodies);
+
+}  // namespace ptb

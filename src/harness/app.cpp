@@ -1,0 +1,13 @@
+#include "harness/app.hpp"
+
+namespace ptb {
+
+AppState make_app_state(const BHConfig& cfg, int nprocs) {
+  AppState st;
+  st.cfg = cfg;
+  st.init(make_plummer(cfg.n, cfg.seed), nprocs);
+  st.cfg = cfg;  // init() overwrote n from the body count; restore the rest
+  return st;
+}
+
+}  // namespace ptb

@@ -1,0 +1,170 @@
+#include "harness/experiment.hpp"
+
+#include <sstream>
+
+#include "sim/sim_rt.hpp"
+#include "treebuild/local.hpp"
+#include "treebuild/orig.hpp"
+#include "treebuild/partree.hpp"
+#include "treebuild/space.hpp"
+#include "treebuild/update.hpp"
+
+namespace ptb {
+namespace {
+
+BHConfig effective_bh(const ExperimentSpec& spec) {
+  BHConfig bh = spec.bh;
+  bh.n = spec.n;
+  return bh;
+}
+
+std::string baseline_key(const ExperimentSpec& spec) {
+  const BHConfig bh = effective_bh(spec);
+  std::ostringstream os;
+  os << spec.platform << '/' << bh.n << '/' << bh.theta << '/' << bh.leaf_cap << '/'
+     << bh.seed << '/' << spec.warmup_steps << '/' << spec.measured_steps << '/'
+     << static_cast<int>(bh.partitioner) << '/' << bh.lock_buckets;
+  return os.str();
+}
+
+/// Sequential baseline platform: same processor speed and LOCAL memory
+/// behaviour (cache size + memory latency), but no coherence protocol — a
+/// uniprocessor pays cache misses to its own memory and nothing else.
+PlatformSpec sequential_variant(const PlatformSpec& spec) {
+  PlatformSpec s = PlatformSpec::ideal();
+  s.name = spec.name + "-seq";
+  s.ns_per_work = spec.ns_per_work;
+  s.protocol = Protocol::kBus;  // uniform-miss machine
+  s.block_bytes = 64;
+  s.read_hit_ns = spec.read_hit_ns;
+  s.local_miss_ns = spec.local_miss_ns;
+  s.remote_miss_ns = spec.local_miss_ns;
+  s.dirty_miss_ns = spec.local_miss_ns;
+  s.cache_bytes = spec.cache_bytes;
+  s.cache_ways = spec.cache_ways;
+  return s;
+}
+
+template <class Builder>
+RunResult run_one(const PlatformSpec& platform, const ExperimentSpec& spec) {
+  AppState st = make_app_state(effective_bh(spec), spec.nprocs);
+  SimContext ctx(platform, spec.nprocs);
+  Builder builder(st);
+  const RunConfig rc{spec.warmup_steps, spec.measured_steps};
+  return run_simulation(ctx, st, builder, rc);
+}
+
+RunResult dispatch(const PlatformSpec& platform, const ExperimentSpec& spec) {
+  switch (spec.algorithm) {
+    case Algorithm::kOrig:
+      return run_one<OrigBuilder>(platform, spec);
+    case Algorithm::kLocal:
+      return run_one<LocalBuilder>(platform, spec);
+    case Algorithm::kUpdate:
+      return run_one<UpdateBuilder>(platform, spec);
+    case Algorithm::kPartree:
+      return run_one<PartreeBuilder>(platform, spec);
+    case Algorithm::kSpace:
+      return run_one<SpaceBuilder>(platform, spec);
+  }
+  PTB_CHECK_MSG(false, "unhandled algorithm");
+  return {};
+}
+
+}  // namespace
+
+ExperimentRunner::Baseline ExperimentRunner::baseline(const ExperimentSpec& spec) {
+  const std::string key = baseline_key(spec);
+  auto it = baseline_cache_.find(key);
+  if (it != baseline_cache_.end()) return it->second;
+
+  const PlatformSpec platform = sequential_variant(PlatformSpec::by_name(spec.platform));
+  AppState st = make_app_state(effective_bh(spec), 1);
+  SimContext ctx(platform, 1);
+  SeqBuilder builder(st);
+  const RunConfig rc{spec.warmup_steps, spec.measured_steps};
+  const RunResult res = run_simulation(ctx, st, builder, rc);
+
+  Baseline b;
+  b.total_s = res.total_ns * 1e-9;
+  b.treebuild_s = res.phase(Phase::kTreeBuild) * 1e-9;
+  baseline_cache_[key] = b;
+  return b;
+}
+
+double ExperimentRunner::sequential_seconds(const std::string& platform, int n,
+                                            const BHConfig& bh, int warmup_steps,
+                                            int measured_steps) {
+  ExperimentSpec spec;
+  spec.platform = platform;
+  spec.n = n;
+  spec.bh = bh;
+  spec.warmup_steps = warmup_steps;
+  spec.measured_steps = measured_steps;
+  return baseline(spec).total_s;
+}
+
+ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
+  const PlatformSpec platform = PlatformSpec::by_name(spec.platform);
+
+  AppState st = make_app_state(effective_bh(spec), spec.nprocs);
+  SimContext ctx(platform, spec.nprocs);
+
+  ExperimentResult out;
+  {
+    const RunConfig rc{spec.warmup_steps, spec.measured_steps};
+    switch (spec.algorithm) {
+      case Algorithm::kOrig: {
+        OrigBuilder b(st);
+        out.run = run_simulation(ctx, st, b, rc);
+        break;
+      }
+      case Algorithm::kLocal: {
+        LocalBuilder b(st);
+        out.run = run_simulation(ctx, st, b, rc);
+        break;
+      }
+      case Algorithm::kUpdate: {
+        UpdateBuilder b(st);
+        out.run = run_simulation(ctx, st, b, rc);
+        break;
+      }
+      case Algorithm::kPartree: {
+        PartreeBuilder b(st);
+        out.run = run_simulation(ctx, st, b, rc);
+        break;
+      }
+      case Algorithm::kSpace: {
+        SpaceBuilder b(st);
+        out.run = run_simulation(ctx, st, b, rc);
+        break;
+      }
+    }
+  }
+
+  const Baseline base = baseline(spec);
+  out.seq_seconds = base.total_s;
+  out.par_seconds = out.run.total_ns * 1e-9;
+  out.speedup = out.par_seconds > 0.0 ? out.seq_seconds / out.par_seconds : 0.0;
+  out.treebuild_seconds = out.run.phase(Phase::kTreeBuild) * 1e-9;
+  out.treebuild_seq_seconds = base.treebuild_s;
+  out.treebuild_speedup =
+      out.treebuild_seconds > 0.0 ? out.treebuild_seq_seconds / out.treebuild_seconds : 0.0;
+  out.treebuild_fraction = out.run.treebuild_fraction();
+
+  double bw = 0.0, lw = 0.0;
+  for (const auto& ps : out.run.proc_stats) {
+    bw += ps.barrier_wait_ns;
+    lw += ps.lock_wait_ns;
+    out.treebuild_locks_per_proc.push_back(
+        ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)]);
+    out.treebuild_locks_total += ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)];
+  }
+  const double np = static_cast<double>(out.run.proc_stats.size());
+  out.barrier_wait_seconds_avg = bw * 1e-9 / np;
+  out.lock_wait_seconds_avg = lw * 1e-9 / np;
+  out.mem = ctx.mem().total_stats();
+  return out;
+}
+
+}  // namespace ptb

@@ -1,0 +1,67 @@
+// High-level experiment API used by every bench binary: run one
+// (platform, algorithm, n, nprocs) configuration on the simulator and report
+// the numbers the paper's tables and figures are built from.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/app.hpp"
+#include "mem/model.hpp"
+#include "treebuild/types.hpp"
+
+namespace ptb {
+
+struct ExperimentSpec {
+  std::string platform = "origin2000";
+  Algorithm algorithm = Algorithm::kLocal;
+  int n = 16384;
+  int nprocs = 16;
+  int warmup_steps = 2;
+  int measured_steps = 2;
+  BHConfig bh;  // n is overwritten from `n`
+};
+
+struct ExperimentResult {
+  // Whole application (measured steps).
+  double seq_seconds = 0.0;
+  double par_seconds = 0.0;
+  double speedup = 0.0;
+  // Tree-building phase.
+  double treebuild_seconds = 0.0;
+  double treebuild_seq_seconds = 0.0;
+  double treebuild_speedup = 0.0;
+  double treebuild_fraction = 0.0;  // of total parallel time
+  // Synchronization.
+  double barrier_wait_seconds_avg = 0.0;  // mean per-processor barrier wait
+  double lock_wait_seconds_avg = 0.0;
+  std::vector<std::uint64_t> treebuild_locks_per_proc;
+  std::uint64_t treebuild_locks_total = 0;
+  // Memory-system event totals.
+  MemProcStats mem;
+  // Full per-phase breakdown.
+  RunResult run;
+};
+
+/// Runs experiments, caching the sequential baselines per (platform, BH
+/// parameters) so that sweeps over the five algorithms share one baseline.
+class ExperimentRunner {
+ public:
+  ExperimentResult run(const ExperimentSpec& spec);
+
+  /// The sequential baseline alone (paper Table 1).
+  double sequential_seconds(const std::string& platform, int n, const BHConfig& bh,
+                            int warmup_steps = 2, int measured_steps = 2);
+
+ private:
+  struct Baseline {
+    double total_s = 0.0;
+    double treebuild_s = 0.0;
+  };
+  Baseline baseline(const ExperimentSpec& spec);
+
+  std::map<std::string, Baseline> baseline_cache_;
+};
+
+}  // namespace ptb

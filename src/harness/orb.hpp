@@ -1,0 +1,114 @@
+// Orthogonal Recursive Bisection partitioning (Salmon [4]), the partitioning
+// technique of the message-passing N-body world, as an alternative to
+// costzones [3]. The paper's lineage (Singh et al.) found costzones both
+// simpler and faster on shared-memory machines; the ORB implementation here
+// lets the benches reproduce that comparison.
+//
+// The bisection is computed REPLICATED on every processor (deterministic and
+// synchronization-free, like SPACE's counting rounds): each processor sorts
+// the same body set, derives the same P boxes, and claims the bodies of its
+// own box. Cost-weighted: splits equalize measured body cost, not count.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+
+#include "harness/state.hpp"
+
+namespace ptb {
+namespace detail {
+
+struct OrbItem {
+  double key = 0.0;    // coordinate along the split axis
+  double cost = 0.0;
+  std::int32_t body = 0;
+};
+
+/// Recursively assigns `items[first, last)` to processors [p0, p0+nproc).
+/// Splits along the widest axis of the current body subset at the
+/// cost-weighted median, with processor counts divided proportionally.
+template <class RT>
+void orb_split(RT& rt, AppState& st, std::vector<std::int32_t>& items, std::size_t first,
+               std::size_t last, int p0, int nproc, int self) {
+  if (nproc == 1) {
+    if (p0 == self) {
+      // Claim this box: identical bookkeeping to the costzones claim.
+      auto& zone = st.partition[static_cast<std::size_t>(p0)];
+      const std::int32_t chunk = st.arena_chunk();
+      for (std::size_t k = first; k < last; ++k) {
+        const std::int32_t bi = items[k];
+        Body& b = st.bodies[static_cast<std::size_t>(bi)];
+        b.proc = p0;
+        st.body_slot[static_cast<std::size_t>(bi)] =
+            static_cast<std::int32_t>(p0) * chunk +
+            std::min(static_cast<std::int32_t>(zone.size()), chunk - 1);
+        zone.push_back(bi);
+        rt.write(st.body_charge(bi), sizeof(Body));
+      }
+    }
+    return;
+  }
+
+  if (last - first < 2) {
+    // Degenerate: fewer bodies than processors; give what's left to p0.
+    orb_split(rt, st, items, first, last, p0, 1, self);
+    return;
+  }
+
+  // Widest axis of this subset's bounding box.
+  Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+  double total_cost = 0.0;
+  for (std::size_t k = first; k < last; ++k) {
+    const Body& b = st.bodies[static_cast<std::size_t>(items[k])];
+    rt.read_shared(st.body_charge(items[k]), 32);
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], b.pos[d]);
+      hi[d] = std::max(hi[d], b.pos[d]);
+    }
+    total_cost += std::max(1.0, b.cost);
+  }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d)
+    if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;
+
+  // Sort the subset along the axis (ties broken by stable body id) and find
+  // the cost-weighted split matching the processor split.
+  const int left_procs = nproc / 2;
+  const double want = total_cost * static_cast<double>(left_procs) / nproc;
+  std::sort(items.begin() + static_cast<std::ptrdiff_t>(first),
+            items.begin() + static_cast<std::ptrdiff_t>(last),
+            [&](std::int32_t a, std::int32_t b) {
+              const double ka = st.bodies[static_cast<std::size_t>(a)].pos[axis];
+              const double kb = st.bodies[static_cast<std::size_t>(b)].pos[axis];
+              if (ka != kb) return ka < kb;
+              return st.bodies[static_cast<std::size_t>(a)].id <
+                     st.bodies[static_cast<std::size_t>(b)].id;
+            });
+  rt.compute(static_cast<double>(last - first) * 4.0);  // sort pass share
+
+  std::size_t mid = first;
+  double acc = 0.0;
+  while (mid < last && acc < want)
+    acc += std::max(1.0, st.bodies[static_cast<std::size_t>(items[mid++])].cost);
+  // Keep at least one body per side (last - first >= 2 here).
+  mid = std::clamp(mid, first + 1, last - 1);
+
+  orb_split(rt, st, items, first, mid, p0, left_procs, self);
+  orb_split(rt, st, items, mid, last, p0 + left_procs, nproc - left_procs, self);
+}
+
+}  // namespace detail
+
+/// Drop-in replacement for partition_phase() using ORB. Ends on a barrier.
+template <class RT>
+void partition_orb_phase(RT& rt, AppState& st) {
+  const int p = rt.self();
+  st.partition[static_cast<std::size_t>(p)].clear();
+  // Replicated bisection: every processor derives the identical boxes.
+  std::vector<std::int32_t> items(static_cast<std::size_t>(st.cfg.n));
+  std::iota(items.begin(), items.end(), 0);
+  detail::orb_split(rt, st, items, 0, items.size(), 0, rt.nprocs(), p);
+  rt.barrier();
+}
+
+}  // namespace ptb

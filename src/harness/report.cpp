@@ -1,0 +1,40 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+namespace ptb {
+
+std::string fmt_speedup(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", s);
+  return buf;
+}
+
+std::string fmt_percent(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s >= 1.0)
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  return buf;
+}
+
+std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-13s %-8s n=%-7d p=%-3d seq=%s par=%s speedup=%s treebuild=%s",
+                spec.platform.c_str(), algorithm_name(spec.algorithm), spec.n, spec.nprocs,
+                fmt_seconds(r.seq_seconds).c_str(), fmt_seconds(r.par_seconds).c_str(),
+                fmt_speedup(r.speedup).c_str(), fmt_percent(r.treebuild_fraction).c_str());
+  return buf;
+}
+
+}  // namespace ptb

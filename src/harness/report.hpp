@@ -1,0 +1,21 @@
+// Shared result-formatting helpers for the bench binaries.
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+namespace ptb {
+
+/// "12.4" style speedup cell.
+std::string fmt_speedup(double s);
+/// "37.2%" style percentage cell.
+std::string fmt_percent(double frac);
+/// "1.234s" / "12.3ms" adaptive duration cell.
+std::string fmt_seconds(double s);
+
+/// One-line summary of a run (used by examples and debugging).
+std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r);
+
+}  // namespace ptb

@@ -1,0 +1,84 @@
+#include "mem/cache_model.hpp"
+
+#include "support/check.hpp"
+
+namespace ptb {
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void CacheModel::init(std::size_t cache_bytes, std::size_t block_bytes, int ways) {
+  tick_ = 0;
+  evictions_ = 0;
+  if (cache_bytes == 0) {
+    infinite_ = true;
+    entries_.clear();
+    resident_epoch_.clear();
+    return;
+  }
+  PTB_CHECK(block_bytes > 0 && ways > 0);
+  infinite_ = false;
+  ways_ = static_cast<std::size_t>(ways);
+  const std::size_t blocks = cache_bytes / block_bytes;
+  nsets_ = round_up_pow2(blocks / ways_ > 0 ? blocks / ways_ : 1);
+  entries_.assign(nsets_ * ways_, Entry{});
+  resident_epoch_.clear();
+}
+
+void CacheModel::clear() {
+  tick_ = 0;
+  evictions_ = 0;
+  if (infinite_) {
+    resident_epoch_.assign(resident_epoch_.size(), 0);
+  } else {
+    entries_.assign(entries_.size(), Entry{});
+  }
+}
+
+bool CacheModel::touch(std::size_t block, std::uint32_t epoch) {
+  if (infinite_) {
+    if (resident_epoch_.size() <= block) resident_epoch_.resize(block + 1, 0);
+    const bool hit = resident_epoch_[block] == epoch + 1;
+    resident_epoch_[block] = epoch + 1;
+    return hit;
+  }
+  Entry* set = &entries_[set_of(block) * ways_];
+  const std::uint64_t key = static_cast<std::uint64_t>(block) + 1;
+  ++tick_;
+  Entry* victim = set;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Entry& e = set[w];
+    if (e.key == key) {
+      e.stamp = tick_;
+      if (e.epoch == epoch) return true;
+      e.epoch = epoch;  // stale copy: refill in place
+      return false;
+    }
+    if (e.stamp < victim->stamp) victim = &e;
+  }
+  if (victim->key != 0) ++evictions_;
+  victim->key = key;
+  victim->stamp = tick_;
+  victim->epoch = epoch;
+  return false;
+}
+
+bool CacheModel::present(std::size_t block, std::uint32_t epoch) const {
+  if (infinite_) {
+    return block < resident_epoch_.size() && resident_epoch_[block] == epoch + 1;
+  }
+  const Entry* set = &entries_[set_of(block) * ways_];
+  const std::uint64_t key = static_cast<std::uint64_t>(block) + 1;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (set[w].key == key) return set[w].epoch == epoch;
+  }
+  return false;
+}
+
+}  // namespace ptb

@@ -1,0 +1,54 @@
+// Per-processor set-associative LRU cache model with epoch-based coherence.
+//
+// Invalidation is *lazy*: the protocol model keeps a monotonically increasing
+// epoch per memory block and bumps it whenever a write makes existing copies
+// stale; a cached entry only counts as a hit if its fill epoch matches the
+// block's current epoch. This lets the force-phase fast path probe caches
+// with no cross-thread mutation at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ptb {
+
+class CacheModel {
+ public:
+  /// cache_bytes == 0 disables capacity modeling: every block is resident
+  /// once touched (infinite cache), subject only to epoch staleness.
+  void init(std::size_t cache_bytes, std::size_t block_bytes, int ways);
+
+  /// Probes (and on miss, fills) the cache. Returns true on hit.
+  bool touch(std::size_t block, std::uint32_t epoch);
+
+  /// Probe without filling.
+  bool present(std::size_t block, std::uint32_t epoch) const;
+
+  /// Drops all contents (start of a run).
+  void clear();
+
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;  // block index + 1; 0 == empty
+    std::uint64_t stamp = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  std::size_t set_of(std::size_t block) const {
+    // Cheap mix so consecutive blocks spread over sets, then mask.
+    std::uint64_t h = block * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 40) & (nsets_ - 1);
+  }
+
+  bool infinite_ = true;
+  std::size_t nsets_ = 0;
+  std::size_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::vector<Entry> entries_;                 // nsets_ * ways_ (finite mode)
+  std::vector<std::uint32_t> resident_epoch_;  // infinite mode: epoch+1 or 0
+};
+
+}  // namespace ptb

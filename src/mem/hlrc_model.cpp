@@ -1,0 +1,228 @@
+#include "mem/hlrc_model.hpp"
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+HlrcModel::HlrcModel(const PlatformSpec& spec, int nprocs) : MemModel(spec, nprocs) {
+  PTB_CHECK_MSG(nprocs <= 64, "writer bitmask holds at most 64 processors");
+  regions_.set_block_bytes(spec.block_bytes);
+  wset_.resize(static_cast<std::size_t>(nprocs));
+  log_pos_.assign(static_cast<std::size_t>(nprocs), 0);
+  local_cache_.resize(static_cast<std::size_t>(nprocs));
+  for (auto& c : local_cache_) c.init(spec.cache_bytes, 64, spec.cache_ways);
+}
+
+std::uint64_t HlrcModel::local_touch(int proc, const void* p, std::size_t n) {
+  if (spec_.cache_bytes == 0 || spec_.local_miss_ns <= 0.0) return 0;
+  // 64 B line grid over the raw address (coherence is per page; this is the
+  // node's own cache, so no epochs are involved).
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const std::size_t first = a / 64;
+  const std::size_t last = (a + (n > 0 ? n : 1) - 1) / 64;
+  std::uint64_t cost = 0;
+  auto& cache = local_cache_[static_cast<std::size_t>(proc)];
+  for (std::size_t b = first; b <= last; ++b)
+    if (!cache.touch(b, 0)) cost += static_cast<std::uint64_t>(spec_.local_miss_ns);
+  return cost;
+}
+
+void HlrcModel::register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                                int fixed_home, std::string name) {
+  MemModel::register_region(base, bytes, policy, fixed_home, std::move(name));
+  ensure_capacity();
+}
+
+void HlrcModel::ensure_capacity() {
+  const std::size_t need = regions_.total_blocks();
+  if (need <= npages_) return;
+  // Regions must all be registered before simulation starts: the per-proc
+  // arrays are re-laid-out here, which would lose in-flight protocol state.
+  PTB_CHECK_MSG(notices_.empty(), "register all regions before simulating");
+  npages_ = need;
+  std::vector<std::atomic<std::uint32_t>> fresh(npages_);
+  version_.swap(fresh);
+  copy_version_.assign(static_cast<std::size_t>(nprocs_) * npages_, 0);
+  required_version_.assign(static_cast<std::size_t>(nprocs_) * npages_, 0);
+  wmask_.assign(npages_, 0);
+}
+
+void HlrcModel::reset() {
+  MemModel::reset();
+  for (auto& c : local_cache_) c.clear();
+  npages_ = 0;
+  version_.clear();
+  copy_version_.clear();
+  required_version_.clear();
+  wmask_.clear();
+  for (auto& w : wset_) w.clear();
+  notices_.clear();
+  log_pos_.assign(static_cast<std::size_t>(nprocs_), 0);
+}
+
+bool HlrcModel::copy_valid(int proc, std::size_t page, int home) const {
+  // The home node's copy IS the page: it is always valid (home-based LRC
+  // applies remote diffs to it; local reads/writes never fault). This is the
+  // reason per-processor pools (LOCAL/PARTREE/SPACE) are cheap on SVM while
+  // ORIG's interleaved global array is not.
+  if (proc == home) return true;
+  const std::size_t idx = static_cast<std::size_t>(proc) * npages_ + page;
+  const std::uint32_t cv = copy_version_[idx];
+  return cv != 0 && cv - 1 >= required_version_[idx];
+}
+
+std::uint64_t HlrcModel::maybe_fault(int proc, std::size_t page, int home) {
+  if (copy_valid(proc, page, home)) return 0;
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  ++st.page_faults;
+  const std::size_t idx = static_cast<std::size_t>(proc) * npages_ + page;
+  // Fetch the current home copy; the copy is stamped version+1 so that
+  // version v satisfies any required_version <= v.
+  copy_version_[idx] = version_[page].load(std::memory_order_acquire) + 1;
+  return static_cast<std::uint64_t>(spec_.page_fault_ns);
+}
+
+std::uint64_t HlrcModel::track_write(int proc, std::size_t page, int home) {
+  const std::uint64_t bit = 1ull << proc;
+  if (wmask_[page] & bit) return 0;  // already tracked this interval
+  wmask_[page] |= bit;
+  wset_[static_cast<std::size_t>(proc)].push_back(static_cast<std::uint32_t>(page));
+  if (proc == home) return 0;  // the home writes its copy in place: no twin
+  ++stats_[static_cast<std::size_t>(proc)].twins;
+  return static_cast<std::uint64_t>(spec_.twin_ns);
+}
+
+std::uint64_t HlrcModel::on_read(int proc, const void* p, std::size_t n,
+                                 std::uint64_t /*now*/) {
+  std::size_t first, last;
+  int home;
+  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  std::uint64_t cost = local_touch(proc, p, n);
+  for (std::size_t b = first; b <= last; ++b) {
+    ++st.reads;
+    cost += maybe_fault(proc, b, b == first ? home : regions_.block_home(b, nprocs_));
+  }
+  return cost;
+}
+
+std::uint64_t HlrcModel::on_read_shared(int proc, const void* p, std::size_t n) {
+  // Safe concurrently: touches only this processor's copy_version_ slice and
+  // atomically loads version_. required_version_ changes only at this
+  // processor's own synchronizations.
+  return on_read(proc, p, n, 0);
+}
+
+std::uint64_t HlrcModel::on_write(int proc, const void* p, std::size_t n,
+                                  std::uint64_t /*now*/) {
+  std::size_t first, last;
+  int home;
+  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  std::uint64_t cost = local_touch(proc, p, n);
+  for (std::size_t b = first; b <= last; ++b) {
+    const int h = b == first ? home : regions_.block_home(b, nprocs_);
+    ++st.writes;
+    cost += maybe_fault(proc, b, h);  // write fault fetches the page too
+    cost += track_write(proc, b, h);
+  }
+  return cost;
+}
+
+std::uint64_t HlrcModel::on_rmw(int proc, const void* p, std::uint64_t now) {
+  // An atomic fetch&op on SVM is a miniature acquire/write/release through
+  // the synchronization manager: this is why ORIG's shared next-cell counter
+  // is so damaging on these platforms.
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  ++st.rmws;
+  std::uint64_t cost = static_cast<std::uint64_t>(spec_.svm_lock_ns);
+  cost += apply_notices(proc);
+  const BlockRef ref = regions_.resolve(p, nprocs_);
+  if (ref.shared) {
+    cost += maybe_fault(proc, ref.block, ref.home);
+    cost += track_write(proc, ref.block, ref.home);
+    // Release the counter page immediately so other processors see it.
+    const std::uint32_t v = version_[ref.block].load(std::memory_order_relaxed) + 1;
+    version_[ref.block].store(v, std::memory_order_release);
+    notices_.push_back(Notice{static_cast<std::uint32_t>(ref.block), v, proc});
+    // Our own copy stays valid at the new version.
+    copy_version_[static_cast<std::size_t>(proc) * npages_ + ref.block] = v + 1;
+    // The page leaves the interval write set (it was just flushed); the
+    // pending wset entry is skipped at release via the cleared mask bit.
+    wmask_[ref.block] &= ~(1ull << proc);
+    cost += static_cast<std::uint64_t>(spec_.diff_per_page_ns);
+    ++st.diffs;
+  }
+  (void)now;
+  return cost;
+}
+
+std::uint64_t HlrcModel::flush_interval(int proc) {
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  auto& ws = wset_[static_cast<std::size_t>(proc)];
+  std::uint64_t cost = 0;
+  const std::uint64_t bit = 1ull << proc;
+  for (std::uint32_t page : ws) {
+    if (!(wmask_[page] & bit)) continue;  // flushed by an interleaved rmw path
+    wmask_[page] &= ~bit;
+    const std::uint32_t v = version_[page].load(std::memory_order_relaxed) + 1;
+    version_[page].store(v, std::memory_order_release);
+    notices_.push_back(Notice{page, v, proc});
+    // The writer's own copy incorporates its writes at the new version.
+    copy_version_[static_cast<std::size_t>(proc) * npages_ + page] = v + 1;
+    if (regions_.block_home(page, nprocs_) == proc) {
+      // Home pages are written in place: only the write notice is posted.
+      cost += static_cast<std::uint64_t>(spec_.notice_ns);
+    } else {
+      cost += static_cast<std::uint64_t>(spec_.diff_per_page_ns);
+      ++st.diffs;
+    }
+  }
+  ws.clear();
+  return cost;
+}
+
+std::uint64_t HlrcModel::apply_notices(int proc) {
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  std::size_t& pos = log_pos_[static_cast<std::size_t>(proc)];
+  std::uint64_t cost = 0;
+  for (; pos < notices_.size(); ++pos) {
+    const Notice& nt = notices_[pos];
+    if (nt.writer == proc) continue;
+    std::uint32_t& req =
+        required_version_[static_cast<std::size_t>(proc) * npages_ + nt.page];
+    if (nt.version > req) req = nt.version;
+    ++st.notices_received;
+    cost += static_cast<std::uint64_t>(spec_.notice_ns);
+  }
+  return cost;
+}
+
+std::uint64_t HlrcModel::on_acquire(int proc, std::uint64_t /*now*/) {
+  return static_cast<std::uint64_t>(spec_.svm_lock_ns) + apply_notices(proc);
+}
+
+std::uint64_t HlrcModel::on_release(int proc, std::uint64_t /*now*/) {
+  return flush_interval(proc);
+}
+
+std::uint64_t HlrcModel::on_barrier_arrive(int proc, std::uint64_t /*now*/) {
+  return flush_interval(proc);
+}
+
+std::uint64_t HlrcModel::on_barrier_depart(int proc, std::uint64_t /*now*/) {
+  return static_cast<std::uint64_t>(spec_.svm_barrier_ns) + apply_notices(proc);
+}
+
+HlrcModel::PageState HlrcModel::page_state(const void* p, int proc) {
+  PageState out;
+  const BlockRef ref = regions_.resolve(p, nprocs_);
+  if (!ref.shared) return out;
+  out.shared_region = true;
+  out.version = version_[ref.block].load(std::memory_order_relaxed);
+  out.valid_for_proc = copy_valid(proc, ref.block, ref.home);
+  out.home = ref.home;
+  return out;
+}
+
+}  // namespace ptb

@@ -1,0 +1,97 @@
+// Home-based Lazy Release Consistency (HLRC) shared-virtual-memory model.
+//
+// This is the protocol the paper runs on the Intel Paragon and on Typhoon-0
+// (Zhou, Iftode & Li, OSDI'96). Coherence is at page granularity and ALL
+// protocol activity happens at synchronization points:
+//   * A processor's writes within an interval are tracked (first write to a
+//     page creates a twin).
+//   * At a RELEASE (lock release or barrier arrival) the processor diffs each
+//     written page against its twin, sends the diff to the page's home (which
+//     bumps the page version), and posts write notices.
+//   * At an ACQUIRE (lock acquire or barrier departure) the processor applies
+//     the write notices it has not yet seen: every page another processor has
+//     released a newer version of becomes invalid locally.
+//   * Touching an invalid page faults: the whole page is fetched from home.
+//
+// The paper's headline effect falls out mechanically: lock acquires are
+// expensive (3-hop + notices), and page faults *inside critical sections*
+// dilate lock hold times in virtual time, serializing lock-heavy tree builds.
+//
+// Laziness is modeled faithfully: a stale copy stays readable (no cost) until
+// the reader itself passes an acquire that covers the writer's release — the
+// valid test is copy_version >= required_version, and required_version only
+// advances when notices are applied at the reader's own synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache_model.hpp"
+#include "mem/model.hpp"
+
+namespace ptb {
+
+class HlrcModel final : public MemModel {
+ public:
+  HlrcModel(const PlatformSpec& spec, int nprocs);
+
+  void register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                       int fixed_home, std::string name) override;
+  void reset() override;
+
+  std::uint64_t on_read(int proc, const void* p, std::size_t n, std::uint64_t now) override;
+  std::uint64_t on_write(int proc, const void* p, std::size_t n, std::uint64_t now) override;
+  std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) override;
+  std::uint64_t on_acquire(int proc, std::uint64_t now) override;
+  std::uint64_t on_release(int proc, std::uint64_t now) override;
+  std::uint64_t on_barrier_arrive(int proc, std::uint64_t now) override;
+  std::uint64_t on_barrier_depart(int proc, std::uint64_t now) override;
+  std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) override;
+
+  /// Test hooks.
+  struct PageState {
+    bool shared_region = false;
+    std::uint32_t version = 0;
+    bool valid_for_proc = false;
+    int home = 0;
+  };
+  PageState page_state(const void* p, int proc);
+  std::size_t notice_log_size() const { return notices_.size(); }
+
+ private:
+  struct Notice {
+    std::uint32_t page;
+    std::uint32_t version;
+    std::int32_t writer;
+  };
+
+  void ensure_capacity();
+  bool copy_valid(int proc, std::size_t page, int home) const;
+  /// Fault + fetch if the processor's copy is invalid. Returns cost.
+  std::uint64_t maybe_fault(int proc, std::size_t page, int home);
+  /// First-write-in-interval twin bookkeeping. Returns cost (ordered only).
+  std::uint64_t track_write(int proc, std::size_t page, int home);
+  /// Release-side: diff written pages to home, post notices. Returns cost.
+  std::uint64_t flush_interval(int proc);
+  /// Acquire-side: apply unseen notices. Returns cost.
+  std::uint64_t apply_notices(int proc);
+
+  std::size_t npages_ = 0;
+  std::vector<std::atomic<std::uint32_t>> version_;  // per page, home copy
+  // Per proc × page, linearized p * npages_ + page:
+  std::vector<std::uint32_t> copy_version_;      // 0 == no copy
+  std::vector<std::uint32_t> required_version_;  // staleness bound from notices
+  std::vector<std::uint64_t> wmask_;             // per page: bitmask of writers this interval
+  std::vector<std::vector<std::uint32_t>> wset_;  // per proc: pages written this interval
+  std::vector<Notice> notices_;                   // global write-notice log
+  std::vector<std::size_t> log_pos_;              // per proc: first unseen notice
+  /// Per-processor LOCAL cache model: a valid page's data still costs a
+  /// local memory miss when it is not in the processor's cache (at 64 B
+  /// lines, independent of the 4 KB coherence grain). Keeps the machine's
+  /// sequential memory behaviour consistent with the parallel runs.
+  std::vector<CacheModel> local_cache_;
+  std::uint64_t local_touch(int proc, const void* p, std::size_t n);
+};
+
+}  // namespace ptb

@@ -1,0 +1,204 @@
+#include "mem/invalidation_model.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+InvalidationModel::InvalidationModel(const PlatformSpec& spec, int nprocs)
+    : MemModel(spec, nprocs), uniform_(spec.protocol == Protocol::kBus) {
+  PTB_CHECK_MSG(nprocs <= 64, "sharer bitmask holds at most 64 processors");
+  regions_.set_block_bytes(spec.block_bytes);
+  caches_.resize(static_cast<std::size_t>(nprocs));
+  for (auto& c : caches_)
+    c.init(spec.cache_bytes, spec.block_bytes, spec.cache_ways);
+}
+
+void InvalidationModel::register_region(const void* base, std::size_t bytes,
+                                        HomePolicy policy, int fixed_home,
+                                        std::string name) {
+  MemModel::register_region(base, bytes, policy, fixed_home, std::move(name));
+  ensure_capacity();
+}
+
+void InvalidationModel::ensure_capacity() {
+  const std::size_t need = regions_.total_blocks();
+  if (need <= nlines_) return;
+  auto fresh = std::make_unique<Line[]>(need);
+  // Region registration happens before parallel execution; state for already
+  // existing blocks is carried over.
+  for (std::size_t i = 0; i < nlines_; ++i) {
+    fresh[i].sharers.store(lines_[i].sharers.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    fresh[i].owner.store(lines_[i].owner.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    fresh[i].epoch.store(lines_[i].epoch.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  lines_ = std::move(fresh);
+  nlines_ = need;
+}
+
+void InvalidationModel::reset() {
+  MemModel::reset();
+  lines_.reset();
+  nlines_ = 0;
+  for (auto& c : caches_) c.clear();
+}
+
+double InvalidationModel::miss_cost(int proc, int home, std::int32_t owner) const {
+  if (owner >= 0 && owner != proc) return spec_.dirty_miss_ns;  // intervention
+  if (uniform_ || home == proc) return spec_.local_miss_ns;
+  return spec_.remote_miss_ns;
+}
+
+std::uint64_t InvalidationModel::read_one(int proc, std::size_t block, int home,
+                                          bool ordered) {
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  ++st.reads;
+  Line& line = lines_[block];
+  const std::uint32_t epoch = line.epoch.load(std::memory_order_acquire);
+  if (caches_[static_cast<std::size_t>(proc)].touch(block, epoch))
+    return static_cast<std::uint64_t>(spec_.read_hit_ns);
+
+  ++st.read_misses;
+  const std::int32_t owner = line.owner.load(std::memory_order_relaxed);
+  double cost = miss_cost(proc, home, owner);
+  if (!uniform_ && home != proc) ++st.remote_misses;
+  if (ordered && owner >= 0 && owner != proc) {
+    // Dirty elsewhere: the read downgrades the owner to shared (write-back).
+    // Only the globally ordered path mutates this — on the concurrent
+    // read-shared fast path every reader pays the intervention cost and the
+    // owner is left for the next ordered write to reset, which keeps the
+    // fast path deterministic under any host interleaving.
+    line.owner.store(-1, std::memory_order_relaxed);
+  }
+  line.sharers.fetch_or(1ull << proc, std::memory_order_relaxed);
+  if (ordered && spec_.bus_occupancy_ns > 0.0) {
+    // Bus serialization is only modeled on the globally ordered path, where
+    // virtual time is coherent across processors.
+    cost += spec_.bus_occupancy_ns;
+  }
+  return static_cast<std::uint64_t>(cost);
+}
+
+std::uint64_t InvalidationModel::on_read(int proc, const void* p, std::size_t n,
+                                         std::uint64_t /*now*/) {
+  std::size_t first, last;
+  int home;
+  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  std::uint64_t cost = 0;
+  for (std::size_t b = first; b <= last; ++b) {
+    cost += read_one(proc, b, b == first ? home : regions_.block_home(b, nprocs_),
+                     /*ordered=*/true);
+  }
+  return cost;
+}
+
+std::uint64_t InvalidationModel::on_read_shared(int proc, const void* p, std::size_t n) {
+  std::size_t first, last;
+  int home;
+  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  std::uint64_t cost = 0;
+  for (std::size_t b = first; b <= last; ++b) {
+    cost += read_one(proc, b, b == first ? home : regions_.block_home(b, nprocs_),
+                     /*ordered=*/false);
+  }
+  return cost;
+}
+
+std::uint64_t InvalidationModel::on_write(int proc, const void* p, std::size_t n,
+                                          std::uint64_t /*now*/) {
+  std::size_t first, last;
+  int home;
+  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  std::uint64_t cost = 0;
+  const std::uint64_t self_bit = 1ull << proc;
+  for (std::size_t b = first; b <= last; ++b) {
+    ++st.writes;
+    const int h = b == first ? home : regions_.block_home(b, nprocs_);
+    Line& line = lines_[b];
+    std::uint32_t epoch = line.epoch.load(std::memory_order_relaxed);
+    const std::uint64_t sharers = line.sharers.load(std::memory_order_relaxed);
+    const std::int32_t owner = line.owner.load(std::memory_order_relaxed);
+    const bool cached = caches_[static_cast<std::size_t>(proc)].touch(b, epoch);
+    if (cached && owner == proc && (sharers & ~self_bit) == 0) {
+      continue;  // already exclusive-modified: free
+    }
+    ++st.write_misses;
+    const int others = std::popcount(sharers & ~self_bit);
+    double c = miss_cost(proc, h, owner) +
+               static_cast<double>(others) * spec_.inval_per_sharer_ns;
+    if (!uniform_ && h != proc) ++st.remote_misses;
+    st.invalidations_sent += static_cast<std::uint64_t>(others);
+    if (spec_.bus_occupancy_ns > 0.0) c += spec_.bus_occupancy_ns;
+    // Ownership change: bump the epoch so every other copy goes stale, then
+    // refresh our own copy at the new epoch.
+    ++epoch;
+    line.epoch.store(epoch, std::memory_order_release);
+    line.sharers.store(self_bit, std::memory_order_relaxed);
+    line.owner.store(proc, std::memory_order_relaxed);
+    caches_[static_cast<std::size_t>(proc)].touch(b, epoch);
+    cost += static_cast<std::uint64_t>(c);
+  }
+  return cost;
+}
+
+std::uint64_t InvalidationModel::on_rmw(int proc, const void* p, std::uint64_t now) {
+  auto& st = stats_[static_cast<std::size_t>(proc)];
+  ++st.rmws;
+  // Atomic RMW: behaves like a write that always goes to the interconnect
+  // (LL/SC or fetch&op bypasses the cache's silent-hit path).
+  const BlockRef ref = regions_.resolve(p, nprocs_);
+  if (!ref.shared) return static_cast<std::uint64_t>(spec_.local_miss_ns);
+  Line& line = lines_[ref.block];
+  const std::uint64_t self_bit = 1ull << proc;
+  const std::uint64_t sharers = line.sharers.load(std::memory_order_relaxed);
+  const std::int32_t owner = line.owner.load(std::memory_order_relaxed);
+  const int others = std::popcount(sharers & ~self_bit);
+  double c = miss_cost(proc, ref.home, owner) +
+             static_cast<double>(others) * spec_.inval_per_sharer_ns;
+  st.invalidations_sent += static_cast<std::uint64_t>(others);
+  std::uint32_t epoch = line.epoch.load(std::memory_order_relaxed) + 1;
+  line.epoch.store(epoch, std::memory_order_release);
+  line.sharers.store(self_bit, std::memory_order_relaxed);
+  line.owner.store(proc, std::memory_order_relaxed);
+  caches_[static_cast<std::size_t>(proc)].touch(ref.block, epoch);
+  (void)now;
+  return static_cast<std::uint64_t>(c);
+}
+
+std::uint64_t InvalidationModel::on_acquire(int proc, std::uint64_t /*now*/) {
+  (void)proc;
+  return static_cast<std::uint64_t>(spec_.lock_ns);
+}
+
+std::uint64_t InvalidationModel::on_release(int proc, std::uint64_t /*now*/) {
+  (void)proc;
+  return static_cast<std::uint64_t>(spec_.lock_ns * 0.25);
+}
+
+std::uint64_t InvalidationModel::on_barrier_arrive(int /*proc*/, std::uint64_t /*now*/) {
+  return 0;  // hardware barriers have no release-side protocol work
+}
+
+std::uint64_t InvalidationModel::on_barrier_depart(int /*proc*/, std::uint64_t /*now*/) {
+  return static_cast<std::uint64_t>(spec_.barrier_base_ns);
+}
+
+InvalidationModel::BlockState InvalidationModel::block_state(const void* p) {
+  BlockState out;
+  const BlockRef ref = regions_.resolve(p, nprocs_);
+  if (!ref.shared) return out;
+  out.shared_region = true;
+  Line& line = lines_[ref.block];
+  out.sharers = line.sharers.load(std::memory_order_relaxed);
+  out.owner = line.owner.load(std::memory_order_relaxed);
+  out.epoch = line.epoch.load(std::memory_order_relaxed);
+  out.home = ref.home;
+  return out;
+}
+
+}  // namespace ptb

@@ -1,0 +1,69 @@
+// Invalidation-based hardware/fine-grain coherence cost model.
+//
+// One implementation covers three of the paper's platforms, differing only in
+// constants (PlatformSpec):
+//   * kBus (SGI Challenge): uniform miss cost, snooping invalidation, optional
+//     bus-occupancy serialization;
+//   * kDirectory (SGI Origin2000): local/remote/3-hop miss asymmetry,
+//     per-sharer invalidation cost;
+//   * kFineGrainSC (Typhoon-0 SC): identical protocol structure, but miss
+//     costs include the software protocol handlers on both ends.
+//
+// Per-block state: a sharer bitmask, a dirty owner, and a coherence *epoch*
+// (bumped on every ownership change) that lazily invalidates other caches —
+// see cache_model.hpp.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "mem/cache_model.hpp"
+#include "mem/model.hpp"
+
+namespace ptb {
+
+class InvalidationModel final : public MemModel {
+ public:
+  InvalidationModel(const PlatformSpec& spec, int nprocs);
+
+  void register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                       int fixed_home, std::string name) override;
+  void reset() override;
+
+  std::uint64_t on_read(int proc, const void* p, std::size_t n, std::uint64_t now) override;
+  std::uint64_t on_write(int proc, const void* p, std::size_t n, std::uint64_t now) override;
+  std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) override;
+  std::uint64_t on_acquire(int proc, std::uint64_t now) override;
+  std::uint64_t on_release(int proc, std::uint64_t now) override;
+  std::uint64_t on_barrier_arrive(int proc, std::uint64_t now) override;
+  std::uint64_t on_barrier_depart(int proc, std::uint64_t now) override;
+  std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) override;
+
+  /// Test hook: coherence state of a block resolved from an address.
+  struct BlockState {
+    bool shared_region = false;
+    std::uint64_t sharers = 0;
+    int owner = -1;
+    std::uint32_t epoch = 0;
+    int home = 0;
+  };
+  BlockState block_state(const void* p);
+
+ private:
+  struct Line {
+    std::atomic<std::uint64_t> sharers{0};
+    std::atomic<std::int32_t> owner{-1};
+    std::atomic<std::uint32_t> epoch{0};
+  };
+
+  void ensure_capacity();
+  double miss_cost(int proc, int home, std::int32_t owner) const;
+  std::uint64_t read_one(int proc, std::size_t block, int home, bool ordered);
+
+  bool uniform_;  // bus: every miss costs the same regardless of home
+  std::unique_ptr<Line[]> lines_;
+  std::size_t nlines_ = 0;
+  std::vector<CacheModel> caches_;
+};
+
+}  // namespace ptb

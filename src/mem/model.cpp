@@ -1,0 +1,90 @@
+#include "mem/model.hpp"
+
+#include "mem/hlrc_model.hpp"
+#include "mem/invalidation_model.hpp"
+#include "support/check.hpp"
+
+namespace ptb {
+namespace {
+
+/// Zero-cost shared memory: used to validate scheduler logic and as a PRAM
+/// reference in tests (speedups under kIdeal should track the critical path).
+class IdealModel final : public MemModel {
+ public:
+  IdealModel(const PlatformSpec& spec, int nprocs) : MemModel(spec, nprocs) {
+    regions_.set_block_bytes(spec.block_bytes);
+  }
+
+  std::uint64_t on_read(int proc, const void*, std::size_t, std::uint64_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].reads;
+    return 0;
+  }
+  std::uint64_t on_write(int proc, const void*, std::size_t, std::uint64_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].writes;
+    return 0;
+  }
+  std::uint64_t on_rmw(int proc, const void*, std::uint64_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].rmws;
+    return 0;
+  }
+  std::uint64_t on_acquire(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_release(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_barrier_arrive(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_barrier_depart(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_read_shared(int proc, const void*, std::size_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].reads;
+    return 0;
+  }
+};
+
+}  // namespace
+
+void MemModel::register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                               int fixed_home, std::string name) {
+  PTB_CHECK(fixed_home >= 0 && fixed_home < nprocs_);
+  regions_.add(base, bytes, policy, fixed_home, std::move(name), nprocs_);
+}
+
+void MemModel::reset() {
+  regions_.clear();
+  reset_stats();
+}
+
+void MemModel::reset_stats() {
+  stats_.assign(static_cast<std::size_t>(nprocs_), MemProcStats{});
+}
+
+MemProcStats MemModel::total_stats() const {
+  MemProcStats t;
+  for (const auto& s : stats_) {
+    t.reads += s.reads;
+    t.writes += s.writes;
+    t.read_misses += s.read_misses;
+    t.write_misses += s.write_misses;
+    t.remote_misses += s.remote_misses;
+    t.invalidations_sent += s.invalidations_sent;
+    t.page_faults += s.page_faults;
+    t.twins += s.twins;
+    t.diffs += s.diffs;
+    t.notices_received += s.notices_received;
+    t.rmws += s.rmws;
+  }
+  return t;
+}
+
+std::unique_ptr<MemModel> make_mem_model(const PlatformSpec& spec, int nprocs) {
+  switch (spec.protocol) {
+    case Protocol::kIdeal:
+      return std::make_unique<IdealModel>(spec, nprocs);
+    case Protocol::kBus:
+    case Protocol::kDirectory:
+    case Protocol::kFineGrainSC:
+      return std::make_unique<InvalidationModel>(spec, nprocs);
+    case Protocol::kHlrc:
+      return std::make_unique<HlrcModel>(spec, nprocs);
+  }
+  PTB_CHECK_MSG(false, "unhandled protocol");
+  return nullptr;
+}
+
+}  // namespace ptb

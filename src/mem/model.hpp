@@ -1,0 +1,103 @@
+// Memory-system model interface.
+//
+// The simulator is execution-driven: the real algorithm code runs and its
+// annotated shared-memory operations are fed to one of these protocol models,
+// which returns the latency (in virtual nanoseconds) the issuing processor
+// pays. Models keep per-line/per-page protocol state keyed by *real*
+// addresses inside registered shared regions, so allocation-policy effects
+// (false sharing of ORIG's interleaved arrays, locality of LOCAL's
+// per-processor pools) emerge from the genuine address stream.
+//
+// Thread-safety contract: on_read/on_write/on_rmw/on_acquire/on_release/
+// on_barrier are called under the simulator's global ordering lock (one call
+// at a time, in virtual-time order). on_read_shared is the force-phase fast
+// path: it may be called concurrently from all processors, but only during
+// phases in which no ordered writes to the same regions occur; models must
+// restrict themselves to per-processor state plus commutative atomics there.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/region_table.hpp"
+#include "platform/spec.hpp"
+
+namespace ptb {
+
+/// Per-processor memory-event counters (diagnostics, tests, Fig. 15-style
+/// reporting).
+struct MemProcStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t remote_misses = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t twins = 0;
+  std::uint64_t diffs = 0;
+  std::uint64_t notices_received = 0;
+  std::uint64_t rmws = 0;
+};
+
+class MemModel {
+ public:
+  explicit MemModel(const PlatformSpec& spec, int nprocs)
+      : spec_(spec), nprocs_(nprocs), stats_(static_cast<std::size_t>(nprocs)) {}
+  virtual ~MemModel() = default;
+
+  MemModel(const MemModel&) = delete;
+  MemModel& operator=(const MemModel&) = delete;
+
+  /// Registers a shared region; accesses outside registered regions are
+  /// treated as private (their cost is the processor's compute charge).
+  virtual void register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                               int fixed_home, std::string name);
+
+  /// Drops all regions and protocol state (between experiment runs).
+  virtual void reset();
+
+  // --- ordered operations (called under the global ordering lock) ---
+  virtual std::uint64_t on_read(int proc, const void* p, std::size_t n,
+                                std::uint64_t now) = 0;
+  virtual std::uint64_t on_write(int proc, const void* p, std::size_t n,
+                                 std::uint64_t now) = 0;
+  /// Atomic read-modify-write (e.g. ORIG's shared next-cell counter).
+  virtual std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) = 0;
+  /// Protocol work at lock acquisition, *excluding* queueing (the scheduler
+  /// models waiting). For SVM protocols this is where write notices are
+  /// applied (pages invalidated).
+  virtual std::uint64_t on_acquire(int proc, std::uint64_t now) = 0;
+  /// Protocol work at lock release (HLRC: diff the interval's written pages
+  /// to their homes and post write notices).
+  virtual std::uint64_t on_release(int proc, std::uint64_t now) = 0;
+  /// Barrier protocol, split so release-side work (flushing the interval)
+  /// happens at arrival and acquire-side work (applying everyone's write
+  /// notices) happens at departure, after all processors arrived.
+  virtual std::uint64_t on_barrier_arrive(int proc, std::uint64_t now) = 0;
+  virtual std::uint64_t on_barrier_depart(int proc, std::uint64_t now) = 0;
+
+  // --- concurrent fast path (read-only phases) ---
+  virtual std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) = 0;
+
+  const PlatformSpec& spec() const { return spec_; }
+  int nprocs() const { return nprocs_; }
+  const MemProcStats& proc_stats(int p) const {
+    return stats_[static_cast<std::size_t>(p)];
+  }
+  MemProcStats total_stats() const;
+  void reset_stats();
+
+ protected:
+  PlatformSpec spec_;
+  int nprocs_;
+  RegionTable regions_;
+  std::vector<MemProcStats> stats_;
+};
+
+/// Factory: builds the protocol model the spec asks for.
+std::unique_ptr<MemModel> make_mem_model(const PlatformSpec& spec, int nprocs);
+
+}  // namespace ptb

@@ -1,0 +1,104 @@
+#include "mem/region_table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+void RegionTable::add(const void* base, std::size_t bytes, HomePolicy policy, int fixed_home,
+                      std::string name, int nprocs) {
+  PTB_CHECK(bytes > 0);
+  Region r;
+  r.base = reinterpret_cast<std::uintptr_t>(base);
+  r.bytes = bytes;
+  r.policy = policy;
+  r.fixed_home = fixed_home;
+  r.name = std::move(name);
+  // Align the block grid to absolute addresses so two regions that happen to
+  // share a block boundary behave like real memory would.
+  const std::uintptr_t first_addr = r.base / block_bytes_;
+  const std::uintptr_t last_addr = (r.base + bytes - 1) / block_bytes_;
+  r.num_blocks = static_cast<std::size_t>(last_addr - first_addr + 1);
+  r.first_block = total_blocks_;
+  total_blocks_ += r.num_blocks;
+  (void)nprocs;
+
+  // Overlap would double-count protocol state; forbid it.
+  for (const Region& other : regions_) {
+    const bool disjoint =
+        r.base + r.bytes <= other.base || other.base + other.bytes <= r.base;
+    PTB_CHECK_MSG(disjoint, "overlapping shared regions");
+  }
+  regions_.push_back(std::move(r));
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.base < b.base; });
+}
+
+void RegionTable::clear() {
+  regions_.clear();
+  total_blocks_ = 0;
+}
+
+const Region* RegionTable::find(std::uintptr_t a) const {
+  // Binary search over the (few) sorted regions.
+  auto it = std::upper_bound(regions_.begin(), regions_.end(), a,
+                             [](std::uintptr_t addr, const Region& r) { return addr < r.base; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  if (a < it->base + it->bytes) return &*it;
+  return nullptr;
+}
+
+int RegionTable::home_of(const Region& r, std::size_t block_in_region, int nprocs) const {
+  switch (r.policy) {
+    case HomePolicy::kFixed:
+      return r.fixed_home;
+    case HomePolicy::kInterleavedBlock:
+      return static_cast<int>(block_in_region % static_cast<std::size_t>(nprocs));
+    case HomePolicy::kProcStriped: {
+      const std::size_t chunk = (r.num_blocks + static_cast<std::size_t>(nprocs) - 1) /
+                                static_cast<std::size_t>(nprocs);
+      return static_cast<int>(std::min<std::size_t>(
+          block_in_region / chunk, static_cast<std::size_t>(nprocs) - 1));
+    }
+  }
+  return 0;
+}
+
+BlockRef RegionTable::resolve(const void* p, int nprocs) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const Region* r = find(a);
+  if (r == nullptr) return BlockRef{};
+  const std::size_t block_in_region = (a / block_bytes_) - (r->base / block_bytes_);
+  BlockRef ref;
+  ref.shared = true;
+  ref.block = r->first_block + block_in_region;
+  ref.home = home_of(*r, block_in_region, nprocs);
+  ref.region = static_cast<std::uint32_t>(r - regions_.data());
+  return ref;
+}
+
+bool RegionTable::resolve_range(const void* p, std::size_t n, int nprocs, std::size_t& first,
+                                std::size_t& last, int& home_of_first) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const Region* r = find(a);
+  if (r == nullptr) return false;
+  const std::uintptr_t end = std::min(a + (n > 0 ? n : 1), r->base + r->bytes);
+  const std::size_t b0 = (a / block_bytes_) - (r->base / block_bytes_);
+  const std::size_t b1 = ((end - 1) / block_bytes_) - (r->base / block_bytes_);
+  first = r->first_block + b0;
+  last = r->first_block + b1;
+  home_of_first = home_of(*r, b0, nprocs);
+  return true;
+}
+
+int RegionTable::block_home(std::size_t global_block, int nprocs) const {
+  for (const Region& r : regions_) {
+    if (global_block >= r.first_block && global_block < r.first_block + r.num_blocks)
+      return home_of(r, global_block - r.first_block, nprocs);
+  }
+  return 0;
+}
+
+}  // namespace ptb

@@ -1,0 +1,74 @@
+// Registered shared-memory regions and address → (region, block) resolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptb {
+
+/// Where the blocks (lines or pages) of a region live.
+enum class HomePolicy {
+  kFixed,             // all blocks homed on one processor (per-proc pools)
+  kInterleavedBlock,  // round-robin by block (ORIG's single shared array,
+                      // SGI-style interleaved/striped placement)
+  kProcStriped,       // region divided into nprocs equal chunks, chunk i
+                      // homed on processor i (per-proc slices of one array)
+};
+
+struct Region {
+  std::uintptr_t base = 0;
+  std::size_t bytes = 0;
+  HomePolicy policy = HomePolicy::kInterleavedBlock;
+  int fixed_home = 0;
+  std::string name;
+  /// Index of this region's first block in the model's state arrays.
+  std::size_t first_block = 0;
+  std::size_t num_blocks = 0;
+};
+
+/// Resolution of one address.
+struct BlockRef {
+  bool shared = false;       // false => private memory, not modeled
+  std::size_t block = 0;     // global block index into model state arrays
+  int home = 0;              // home processor of the block
+  std::uint32_t region = 0;  // region index
+};
+
+class RegionTable {
+ public:
+  /// Configure the block size (coherence granularity) before registering.
+  void set_block_bytes(std::size_t b) { block_bytes_ = b; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  void add(const void* base, std::size_t bytes, HomePolicy policy, int fixed_home,
+           std::string name, int nprocs);
+  void clear();
+
+  /// Total blocks across all regions (size protocol state arrays to this).
+  std::size_t total_blocks() const { return total_blocks_; }
+
+  /// Resolves an address. Returns shared=false for unregistered memory.
+  BlockRef resolve(const void* p, int nprocs) const;
+
+  /// Range of global block indices [first, last] covered by [p, p+n).
+  /// Returns false if the address is not in a registered region.
+  bool resolve_range(const void* p, std::size_t n, int nprocs, std::size_t& first,
+                     std::size_t& last, int& home_of_first) const;
+
+  /// Home processor of a global block index (linear scan over the handful of
+  /// regions; used when a multi-block access spans interleaved homes).
+  int block_home(std::size_t global_block, int nprocs) const;
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  const Region* find(std::uintptr_t a) const;
+  int home_of(const Region& r, std::size_t block_in_region, int nprocs) const;
+
+  std::size_t block_bytes_ = 128;
+  std::size_t total_blocks_ = 0;
+  std::vector<Region> regions_;  // sorted by base
+};
+
+}  // namespace ptb

@@ -1,0 +1,150 @@
+// OpenMP runtime: the same SPMD contract as NativeContext, but the worker
+// team is an OpenMP parallel region. Useful for codes already built around
+// OpenMP and as a second independent implementation of the runtime concept
+// (the test suite cross-checks it against NativeContext).
+//
+// Compiled only when PTB_HAVE_OPENMP is defined (see src/CMakeLists.txt).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <omp.h>
+
+#include "mem/region_table.hpp"  // HomePolicy (annotation only; no cost here)
+#include "rt/phase.hpp"
+#include "support/check.hpp"
+
+namespace ptb {
+
+class OmpContext;
+
+class OmpProc {
+ public:
+  OmpProc(OmpContext& ctx, int self) : ctx_(&ctx), self_(self) {}
+
+  int self() const { return self_; }
+  int nprocs() const;
+
+  void compute(double /*units*/) {}
+  void read(const void* /*p*/, std::size_t /*n*/) {}
+  void write(const void* /*p*/, std::size_t /*n*/) {}
+  void read_shared(const void* /*p*/, std::size_t /*n*/) {}
+
+  template <class T>
+  T ordered_load(const std::atomic<T>& a, const void* /*charge_addr*/, std::size_t /*n*/) {
+    return a.load(std::memory_order_acquire);
+  }
+  template <class T>
+  void ordered_store(std::atomic<T>& a, T v, const void* /*charge_addr*/,
+                     std::size_t /*n*/) {
+    a.store(v, std::memory_order_release);
+  }
+
+  void lock(const void* addr);
+  void unlock(const void* addr);
+  std::int64_t fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v);
+  void barrier();
+  void begin_phase(Phase p);
+
+ private:
+  OmpContext* ctx_;
+  int self_;
+};
+
+class OmpContext {
+ public:
+  using Proc = OmpProc;
+
+  explicit OmpContext(int nprocs)
+      : nprocs_(nprocs), stats_(static_cast<std::size_t>(nprocs)),
+        phase_(static_cast<std::size_t>(nprocs), Phase::kOther),
+        mark_(static_cast<std::size_t>(nprocs)) {
+    PTB_CHECK(nprocs >= 1);
+    for (auto& m : mutexes_) omp_init_lock(&m);
+  }
+  ~OmpContext() {
+    for (auto& m : mutexes_) omp_destroy_lock(&m);
+  }
+  OmpContext(const OmpContext&) = delete;
+  OmpContext& operator=(const OmpContext&) = delete;
+
+  int nprocs() const { return nprocs_; }
+
+  void register_region(const void*, std::size_t, HomePolicy, int, std::string) {}
+
+  /// Runs f(OmpProc&) on an OpenMP team of nprocs threads.
+  template <class F>
+  void run(F&& f) {
+    const auto t0 = Clock::now();
+    for (auto& m : mark_) m = t0;
+#pragma omp parallel num_threads(nprocs_)
+    {
+      const int p = omp_get_thread_num();
+      OmpProc proc(*this, p);
+      f(proc);
+      flush_phase(p);
+    }
+  }
+
+  const std::vector<ProcStats>& stats() const { return stats_; }
+  void reset_stats() { stats_.assign(static_cast<std::size_t>(nprocs_), ProcStats{}); }
+
+ private:
+  friend class OmpProc;
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kNumMutexes = 4096;
+
+  omp_lock_t& mutex_for(const void* addr) {
+    auto h = reinterpret_cast<std::uintptr_t>(addr);
+    h ^= h >> 17;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return mutexes_[h % kNumMutexes];
+  }
+
+  void flush_phase(int p) {
+    const auto now = Clock::now();
+    const auto idx = static_cast<std::size_t>(p);
+    stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
+        std::chrono::duration<double, std::nano>(now - mark_[idx]).count();
+    mark_[idx] = now;
+  }
+
+  int nprocs_;
+  std::vector<ProcStats> stats_;
+  std::vector<Phase> phase_;
+  std::vector<Clock::time_point> mark_;
+  omp_lock_t mutexes_[kNumMutexes];
+};
+
+inline int OmpProc::nprocs() const { return ctx_->nprocs_; }
+
+inline void OmpProc::lock(const void* addr) {
+  ++ctx_->stats_[static_cast<std::size_t>(self_)]
+        .lock_acquires[static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)])];
+  omp_set_lock(&ctx_->mutex_for(addr));
+}
+
+inline void OmpProc::unlock(const void* addr) { omp_unset_lock(&ctx_->mutex_for(addr)); }
+
+inline std::int64_t OmpProc::fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v) {
+  ++ctx_->stats_[static_cast<std::size_t>(self_)].fetch_adds;
+  return ctr.fetch_add(v, std::memory_order_acq_rel);
+}
+
+inline void OmpProc::barrier() {
+  ++ctx_->stats_[static_cast<std::size_t>(self_)].barriers;
+#pragma omp barrier
+}
+
+inline void OmpProc::begin_phase(Phase p) {
+  ctx_->flush_phase(self_);
+  ctx_->phase_[static_cast<std::size_t>(self_)] = p;
+}
+
+}  // namespace ptb

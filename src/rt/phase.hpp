@@ -1,0 +1,48 @@
+// Application phases, shared by all runtimes.
+//
+// A Barnes–Hut time-step is: tree build → moments (center of mass) →
+// partition (costzones) → forces → update. The paper varies only the first
+// phase across its five algorithms and reports time breakdowns per phase, so
+// phase attribution is a first-class runtime concept here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ptb {
+
+enum class Phase : int {
+  kTreeBuild = 0,
+  kMoments = 1,
+  kPartition = 2,
+  kForces = 3,
+  kUpdate = 4,
+  kOther = 5,
+};
+
+inline constexpr int kNumPhases = 6;
+
+inline const char* phase_name(Phase p) {
+  constexpr const char* names[kNumPhases] = {"treebuild", "moments", "partition",
+                                             "forces",    "update",  "other"};
+  return names[static_cast<int>(p)];
+}
+
+/// Per-processor statistics every runtime keeps. Times are nanoseconds:
+/// wall-clock for NativeRT, virtual for SimRT.
+struct ProcStats {
+  std::array<double, kNumPhases> phase_ns{};
+  std::array<std::uint64_t, kNumPhases> lock_acquires{};
+  double barrier_wait_ns = 0.0;
+  double lock_wait_ns = 0.0;
+  std::uint64_t barriers = 0;
+  std::uint64_t fetch_adds = 0;
+
+  double total_ns() const {
+    double t = 0.0;
+    for (double v : phase_ns) t += v;
+    return t;
+  }
+};
+
+}  // namespace ptb

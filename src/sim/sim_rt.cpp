@@ -1,0 +1,288 @@
+#include "sim/sim_rt.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+SimContext::SimContext(const PlatformSpec& spec, int nprocs)
+    : spec_(spec), nprocs_(nprocs), mem_(make_mem_model(spec, nprocs)) {
+  PTB_CHECK(nprocs >= 1 && nprocs <= 64);
+  const auto np = static_cast<std::size_t>(nprocs);
+  clock_.assign(np, 0);
+  status_.assign(np, Status::kDone);
+  pending_.assign(np, 0);
+  phase_.assign(np, Phase::kOther);
+  phase_mark_.assign(np, 0);
+  stats_.assign(np, ProcStats{});
+  lock_granted_.assign(np, 0);
+  barrier_arrival_.assign(np, 0);
+  turn_cv_ = std::make_unique<std::condition_variable[]>(np);
+}
+
+SimContext::~SimContext() = default;
+
+void SimContext::wake_min() {
+  int best = -1;
+  for (int q = 0; q < nprocs_; ++q) {
+    if (status_[static_cast<std::size_t>(q)] != Status::kActive) continue;
+    if (best < 0 ||
+        clock_[static_cast<std::size_t>(q)] < clock_[static_cast<std::size_t>(best)])
+      best = q;
+  }
+  if (best >= 0) turn_cv_[static_cast<std::size_t>(best)].notify_one();
+}
+
+void SimContext::wake_all() {
+  for (int q = 0; q < nprocs_; ++q) turn_cv_[static_cast<std::size_t>(q)].notify_one();
+}
+
+void SimContext::register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                                 int fixed_home, std::string name) {
+  mem_->register_region(base, bytes, policy, fixed_home, std::move(name));
+}
+
+void SimContext::reset_stats() {
+  stats_.assign(static_cast<std::size_t>(nprocs_), ProcStats{});
+}
+
+std::uint64_t SimContext::elapsed_ns() const {
+  std::uint64_t mx = 0;
+  for (std::uint64_t c : clock_) mx = std::max(mx, c);
+  return mx;
+}
+
+void SimContext::run_impl(const std::function<void(SimProc&)>& f) {
+  {
+    std::lock_guard<std::mutex> g(m_);
+    const auto np = static_cast<std::size_t>(nprocs_);
+    clock_.assign(np, 0);
+    status_.assign(np, Status::kActive);
+    pending_.assign(np, 0);
+    phase_.assign(np, Phase::kOther);
+    phase_mark_.assign(np, 0);
+    lock_granted_.assign(np, 0);
+    barrier_arrival_.assign(np, 0);
+    locks_.clear();
+    barrier_arrived_ = 0;
+    barrier_release_ns_ = 0;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs_));
+  for (int p = 0; p < nprocs_; ++p) {
+    threads.emplace_back([this, p, &f] {
+      SimProc proc(*this, p);
+      f(proc);
+      std::unique_lock<std::mutex> l(m_);
+      flush_pending(p);
+      // Final phase attribution.
+      const auto idx = static_cast<std::size_t>(p);
+      stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
+          static_cast<double>(clock_[idx] - phase_mark_[idx]);
+      phase_mark_[idx] = clock_[idx];
+      status_[idx] = Status::kDone;
+      maybe_release_barrier();
+      wake_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+bool SimContext::is_min_active(int p) const {
+  const std::uint64_t my = clock_[static_cast<std::size_t>(p)];
+  for (int q = 0; q < nprocs_; ++q) {
+    if (q == p || status_[static_cast<std::size_t>(q)] != Status::kActive) continue;
+    const std::uint64_t other = clock_[static_cast<std::size_t>(q)];
+    if (other < my || (other == my && q < p)) return false;
+  }
+  return true;
+}
+
+void SimContext::wait_for_turn(std::unique_lock<std::mutex>& l, int p) {
+  turn_cv_[static_cast<std::size_t>(p)].wait(l, [this, p] { return is_min_active(p); });
+}
+
+void SimContext::flush_pending(int p) {
+  const auto idx = static_cast<std::size_t>(p);
+  if (pending_[idx] != 0) {
+    clock_[idx] += pending_[idx];
+    pending_[idx] = 0;
+    // Raising our clock can make another processor the minimum.
+    wake_min();
+  }
+}
+
+void SimContext::advance(int p, std::uint64_t cost) {
+  clock_[static_cast<std::size_t>(p)] += cost;
+}
+
+void SimContext::op_ordered(int p,
+                            std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
+                                                          std::uint64_t),
+                            const void* addr, std::size_t n) {
+  std::unique_lock<std::mutex> l(m_);
+  flush_pending(p);
+  wait_for_turn(l, p);
+  advance(p, (mem_.get()->*fn)(p, addr, n, clock_[static_cast<std::size_t>(p)]));
+  wake_min();
+}
+
+void SimContext::op_lock(int p, const void* addr) {
+  const auto idx = static_cast<std::size_t>(p);
+  std::unique_lock<std::mutex> l(m_);
+  flush_pending(p);
+  ++stats_[idx].lock_acquires[static_cast<int>(phase_[idx])];
+  wait_for_turn(l, p);
+  LockState& ls = locks_[addr];
+  if (!ls.held) {
+    ls.held = true;
+    ls.holder = p;
+    advance(p, mem_->on_acquire(p, clock_[idx]));
+    wake_min();
+    return;
+  }
+  const std::uint64_t request_ns = clock_[idx];
+  ls.waiters.emplace_back(request_ns, p);
+  status_[idx] = Status::kBlockedLock;
+  wake_min();  // leaving the Active set may unblock someone's turn
+  turn_cv_[idx].wait(l, [this, idx] { return lock_granted_[idx] != 0; });
+  lock_granted_[idx] = 0;
+  stats_[idx].lock_wait_ns += static_cast<double>(clock_[idx] - request_ns);
+  // The releaser set our clock to the grant time and made us Active again;
+  // run the acquire-side protocol in global virtual-time order.
+  wait_for_turn(l, p);
+  advance(p, mem_->on_acquire(p, clock_[idx]));
+  wake_min();
+}
+
+void SimContext::op_unlock(int p, const void* addr) {
+  const auto idx = static_cast<std::size_t>(p);
+  std::unique_lock<std::mutex> l(m_);
+  flush_pending(p);
+  wait_for_turn(l, p);
+  auto it = locks_.find(addr);
+  PTB_CHECK_MSG(it != locks_.end() && it->second.held && it->second.holder == p,
+                "unlock of a lock not held by this processor");
+  LockState& ls = it->second;
+  advance(p, mem_->on_release(p, clock_[idx]));
+  if (ls.waiters.empty()) {
+    ls.held = false;
+    ls.holder = -1;
+  } else {
+    // Grant to the earliest request in virtual time (ties by processor id).
+    auto best = std::min_element(ls.waiters.begin(), ls.waiters.end());
+    const int w = best->second;
+    ls.waiters.erase(best);
+    ls.holder = w;
+    const auto widx = static_cast<std::size_t>(w);
+    clock_[widx] = std::max(clock_[widx], clock_[idx]);
+    status_[widx] = Status::kActive;
+    lock_granted_[widx] = 1;
+    turn_cv_[widx].notify_one();
+  }
+  wake_min();
+}
+
+int SimContext::alive_count() const {
+  int n = 0;
+  for (Status s : status_)
+    if (s != Status::kDone) ++n;
+  return n;
+}
+
+bool SimContext::maybe_release_barrier() {
+  if (barrier_arrived_ == 0 || barrier_arrived_ < alive_count()) return false;
+  std::uint64_t release = 0;
+  for (int q = 0; q < nprocs_; ++q) {
+    if (status_[static_cast<std::size_t>(q)] == Status::kInBarrier)
+      release = std::max(release, barrier_arrival_[static_cast<std::size_t>(q)]);
+  }
+  for (int q = 0; q < nprocs_; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    if (status_[qi] != Status::kInBarrier) continue;
+    stats_[qi].barrier_wait_ns += static_cast<double>(release - barrier_arrival_[qi]);
+    clock_[qi] = release;
+    status_[qi] = Status::kActive;
+  }
+  barrier_arrived_ = 0;
+  ++barrier_generation_;
+  return true;
+}
+
+void SimContext::op_barrier(int p) {
+  const auto idx = static_cast<std::size_t>(p);
+  std::unique_lock<std::mutex> l(m_);
+  flush_pending(p);
+  ++stats_[idx].barriers;
+  wait_for_turn(l, p);
+  advance(p, mem_->on_barrier_arrive(p, clock_[idx]));
+  barrier_arrival_[idx] = clock_[idx];
+  status_[idx] = Status::kInBarrier;
+  ++barrier_arrived_;
+  const std::uint64_t gen = barrier_generation_;
+  if (maybe_release_barrier()) {
+    wake_all();
+  } else {
+    wake_min();
+    turn_cv_[idx].wait(l, [this, gen] { return barrier_generation_ != gen; });
+  }
+  // Departure protocol in deterministic order (all clocks equal, id breaks
+  // the tie).
+  wait_for_turn(l, p);
+  advance(p, mem_->on_barrier_depart(p, clock_[idx]));
+  wake_min();
+}
+
+void SimContext::op_begin_phase(int p, Phase ph) {
+  const auto idx = static_cast<std::size_t>(p);
+  std::unique_lock<std::mutex> l(m_);
+  flush_pending(p);
+  stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
+      static_cast<double>(clock_[idx] - phase_mark_[idx]);
+  phase_mark_[idx] = clock_[idx];
+  phase_[idx] = ph;
+}
+
+// --- SimProc forwarding ---
+
+void SimProc::compute(double units) {
+  ctx_->pending_[static_cast<std::size_t>(self_)] +=
+      static_cast<std::uint64_t>(units * ctx_->spec_.ns_per_work);
+}
+
+void SimProc::read(const void* p, std::size_t n) {
+  ctx_->op_ordered(self_, &MemModel::on_read, p, n);
+}
+
+void SimProc::write(const void* p, std::size_t n) {
+  ctx_->op_ordered(self_, &MemModel::on_write, p, n);
+}
+
+void SimProc::read_shared(const void* p, std::size_t n) {
+  ctx_->pending_[static_cast<std::size_t>(self_)] +=
+      ctx_->mem_->on_read_shared(self_, p, n);
+}
+
+void SimProc::lock(const void* addr) { ctx_->op_lock(self_, addr); }
+
+void SimProc::unlock(const void* addr) { ctx_->op_unlock(self_, addr); }
+
+std::int64_t SimProc::fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v) {
+  std::unique_lock<std::mutex> l(ctx_->m_);
+  ctx_->flush_pending(self_);
+  ++ctx_->stats_[static_cast<std::size_t>(self_)].fetch_adds;
+  ctx_->wait_for_turn(l, self_);
+  ctx_->advance(self_, ctx_->mem_->on_rmw(self_, &ctr,
+                                          ctx_->clock_[static_cast<std::size_t>(self_)]));
+  const std::int64_t old = ctr.fetch_add(v, std::memory_order_relaxed);
+  ctx_->wake_min();
+  return old;
+}
+
+void SimProc::barrier() { ctx_->op_barrier(self_); }
+
+void SimProc::begin_phase(Phase p) { ctx_->op_begin_phase(self_, p); }
+
+}  // namespace ptb

@@ -1,0 +1,201 @@
+// SimRT: execution-driven discrete-event simulation runtime.
+//
+// The same algorithm code that runs under NativeRT runs here on real host
+// threads, but every annotated shared-memory operation is (a) charged to a
+// per-processor *virtual clock* by the platform's protocol model and
+// (b) globally ordered: a processor may only perform its next ordered
+// operation when its virtual clock is the minimum over all processors that
+// could still act (conservative PDES). Locks queue in virtual time, so lock
+// contention, critical-section dilation by page faults, and barrier imbalance
+// all emerge mechanically rather than being scripted.
+//
+// Determinism: given a fixed platform, processor count and input, repeated
+// runs produce bit-identical virtual times and statistics (ties in virtual
+// time break by processor id). The test suite asserts this.
+//
+// Fast path: read_shared() skips global ordering — it is only legal in phases
+// where the touched data is not written (the force phase reading the tree),
+// and the protocol models confine themselves to per-processor state plus
+// commutative atomics there. Its cost accumulates in a thread-local "pending"
+// bucket that is folded into the virtual clock at the next ordered operation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/model.hpp"
+#include "platform/spec.hpp"
+#include "rt/phase.hpp"
+
+namespace ptb {
+
+class SimContext;
+
+class SimProc {
+ public:
+  SimProc(SimContext& ctx, int self) : ctx_(&ctx), self_(self) {}
+
+  int self() const { return self_; }
+  int nprocs() const;
+
+  void compute(double units);
+  void read(const void* p, std::size_t n);
+  void write(const void* p, std::size_t n);
+  void read_shared(const void* p, std::size_t n);
+
+  /// Combined charge + ACTUAL load/store of a shared atomic, executed under
+  /// the global ordering lock at this processor's virtual-time turn. This is
+  /// what makes data-dependent control flow on racy fields (a cell's kind,
+  /// child slots, the body->leaf map) deterministic: the value read is
+  /// exactly the state after all operations with earlier virtual time.
+  template <class T>
+  T ordered_load(const std::atomic<T>& a, const void* charge_addr, std::size_t n);
+  template <class T>
+  void ordered_store(std::atomic<T>& a, T v, const void* charge_addr, std::size_t n);
+
+  void lock(const void* addr);
+  void unlock(const void* addr);
+  std::int64_t fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v);
+  void barrier();
+  void begin_phase(Phase p);
+
+ private:
+  SimContext* ctx_;
+  int self_;
+};
+
+class SimContext {
+ public:
+  using Proc = SimProc;
+
+  SimContext(const PlatformSpec& spec, int nprocs);
+  ~SimContext();
+
+  int nprocs() const { return nprocs_; }
+  const PlatformSpec& spec() const { return spec_; }
+  MemModel& mem() { return *mem_; }
+
+  /// Registers a shared region with the protocol model. Call before run().
+  void register_region(const void* base, std::size_t bytes, HomePolicy policy,
+                       int fixed_home, std::string name);
+
+  /// Runs f(SimProc&) SPMD on nprocs host threads, joining them all.
+  template <class F>
+  void run(F&& f) {
+    run_impl([&f](SimProc& proc) { f(proc); });
+  }
+
+  /// Charges a read/write of [addr, addr+n) at processor p's turn and runs
+  /// `f()` under the ordering lock (see SimProc::ordered_load).
+  template <class F>
+  auto ordered_apply(int p, const void* addr, std::size_t n, bool is_write, F&& f) {
+    std::unique_lock<std::mutex> l(m_);
+    flush_pending(p);
+    wait_for_turn(l, p);
+    const auto now = clock_[static_cast<std::size_t>(p)];
+    advance(p, is_write ? mem_->on_write(p, addr, n, now) : mem_->on_read(p, addr, n, now));
+    auto result = f();
+    wake_min();
+    return result;
+  }
+
+  // --- results ---
+  const std::vector<ProcStats>& stats() const { return stats_; }
+  /// Virtual nanoseconds on processor p's clock.
+  std::uint64_t clock_ns(int p) const {
+    return clock_[static_cast<std::size_t>(p)];
+  }
+  /// Virtual completion time of the whole run (max over processors).
+  std::uint64_t elapsed_ns() const;
+  void reset_stats();
+
+ private:
+  friend class SimProc;
+
+  enum class Status : std::uint8_t { kActive, kBlockedLock, kInBarrier, kDone };
+
+  struct LockState {
+    bool held = false;
+    int holder = -1;
+    // Waiters with their virtual request times; the earliest request is
+    // granted at release (FIFO in virtual time, ties by processor id).
+    std::vector<std::pair<std::uint64_t, int>> waiters;
+    std::uint64_t granted_to = 0;  // generation counter for wakeups
+  };
+
+  void run_impl(const std::function<void(SimProc&)>& f);
+
+  // All of the below require m_ held.
+  bool is_min_active(int p) const;
+  void wait_for_turn(std::unique_lock<std::mutex>& l, int p);
+  void flush_pending(int p);
+  void advance(int p, std::uint64_t cost);
+  int alive_count() const;
+  bool maybe_release_barrier();
+  /// Wakes the processor that is now the minimum over Active clocks (no-op if
+  /// it isn't sleeping). Must be called after any clock_/status_ mutation.
+  void wake_min();
+  /// Wakes every processor (barrier release, completion).
+  void wake_all();
+
+  // Operation implementations (called by SimProc).
+  void op_ordered(int p, std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
+                                                       std::uint64_t),
+                  const void* addr, std::size_t n);
+  void op_lock(int p, const void* addr);
+  void op_unlock(int p, const void* addr);
+  void op_barrier(int p);
+  void op_begin_phase(int p, Phase ph);
+
+  PlatformSpec spec_;
+  int nprocs_;
+  std::unique_ptr<MemModel> mem_;
+
+  std::mutex m_;
+  /// Barrier-generation / lock-grant wakeups go through per-processor
+  /// condition variables plus directed wake_min() signalling: on any state
+  /// change only the processor that is now the virtual-time minimum is woken,
+  /// instead of a notify_all stampede over every sleeping thread.
+  std::unique_ptr<std::condition_variable[]> turn_cv_;
+  std::vector<std::uint64_t> clock_;
+  std::vector<Status> status_;
+  std::vector<std::uint64_t> pending_;  // written only by the owning thread
+  std::vector<std::uint8_t> lock_granted_;
+  std::unordered_map<const void*, LockState> locks_;
+
+  // Barrier state.
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::uint64_t barrier_release_ns_ = 0;
+  std::vector<std::uint64_t> barrier_arrival_;
+
+  // Phase accounting.
+  std::vector<Phase> phase_;
+  std::vector<std::uint64_t> phase_mark_;
+  std::vector<ProcStats> stats_;
+};
+
+inline int SimProc::nprocs() const { return ctx_->nprocs_; }
+
+template <class T>
+T SimProc::ordered_load(const std::atomic<T>& a, const void* charge_addr, std::size_t n) {
+  return ctx_->ordered_apply(self_, charge_addr, n, /*is_write=*/false,
+                             [&] { return a.load(std::memory_order_relaxed); });
+}
+
+template <class T>
+void SimProc::ordered_store(std::atomic<T>& a, T v, const void* charge_addr,
+                            std::size_t n) {
+  ctx_->ordered_apply(self_, charge_addr, n, /*is_write=*/true, [&] {
+    a.store(v, std::memory_order_relaxed);
+    return 0;
+  });
+}
+
+}  // namespace ptb

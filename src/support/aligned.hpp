@@ -1,0 +1,75 @@
+// Page-aligned allocation for shared regions.
+//
+// The memory-system models key protocol state off REAL addresses. For the
+// simulator to be bit-deterministic across runs (and for region traffic to be
+// independent of heap layout), every registered shared region is allocated at
+// a page boundary: the line/page grid then falls identically within the
+// region no matter where malloc placed it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace ptb {
+
+inline constexpr std::size_t kRegionAlignment = 4096;
+
+template <class T, std::size_t Align = kRegionAlignment>
+struct AlignedAlloc {
+  using value_type = T;
+
+  AlignedAlloc() = default;
+  template <class U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) { return true; }
+};
+
+/// std::vector with page-aligned storage.
+template <class T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
+
+namespace detail {
+struct AlignedArrayDeleter {
+  std::size_t count = 0;
+  template <class T>
+  void operator()(T* p) const {
+    for (std::size_t i = 0; i < count; ++i) p[i].~T();
+    ::operator delete(static_cast<void*>(p), std::align_val_t(kRegionAlignment));
+  }
+};
+}  // namespace detail
+
+template <class T>
+using AlignedArrayPtr = std::unique_ptr<T[], detail::AlignedArrayDeleter>;
+
+/// Value-initialized page-aligned array (replacement for make_unique<T[]>).
+template <class T>
+AlignedArrayPtr<T> make_aligned_array(std::size_t n) {
+  void* raw = ::operator new(n * sizeof(T), std::align_val_t(kRegionAlignment));
+  T* arr = static_cast<T*>(raw);
+  std::size_t built = 0;
+  try {
+    for (; built < n; ++built) ::new (static_cast<void*>(arr + built)) T();
+  } catch (...) {
+    while (built > 0) arr[--built].~T();
+    ::operator delete(raw, std::align_val_t(kRegionAlignment));
+    throw;
+  }
+  return AlignedArrayPtr<T>(arr, detail::AlignedArrayDeleter{n});
+}
+
+}  // namespace ptb

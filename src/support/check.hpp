@@ -1,0 +1,36 @@
+// Lightweight assertion macros used across the library.
+//
+// PTB_CHECK fires in every build type (these guard invariants whose violation
+// would silently corrupt a simulation result); PTB_DCHECK compiles away in
+// NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptb::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PTB_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ptb::detail
+
+#define PTB_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::ptb::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PTB_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::ptb::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PTB_DCHECK(expr) ((void)0)
+#else
+#define PTB_DCHECK(expr) PTB_CHECK(expr)
+#endif

@@ -1,0 +1,85 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+Cli::Cli(int argc, char** argv) : program_(argc > 0 ? argv[0] : "ptb") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      want_help_ = true;
+      continue;
+    }
+    PTB_CHECK_MSG(arg.rfind("--", 0) == 0, "flags must start with --");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args_[arg] = argv[++i];
+    } else {
+      args_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def,
+                            const std::string& help) {
+  help_.push_back({name, def, help});
+  auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def, const std::string& help) {
+  const std::string v = get_string(name, std::to_string(def), help);
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def, const std::string& help) {
+  const std::string v = get_string(name, std::to_string(def), help);
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def, const std::string& help) {
+  const std::string v = get_string(name, def ? "true" : "false", help);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name, const std::string& def,
+                                            const std::string& help) {
+  const std::string v = get_string(name, def, help);
+  std::vector<std::int64_t> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+void Cli::finish() {
+  if (want_help_) {
+    std::printf("Usage: %s [flags]\n", program_.c_str());
+    for (const auto& h : help_) {
+      std::printf("  --%-20s (default: %s) %s\n", h.name.c_str(), h.def.c_str(),
+                  h.help.c_str());
+    }
+    std::exit(0);
+  }
+  for (const auto& [name, value] : args_) {
+    (void)value;
+    if (!consumed_.count(name)) {
+      std::fprintf(stderr, "unknown flag: --%s (try --help)\n", name.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace ptb

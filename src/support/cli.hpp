@@ -1,0 +1,49 @@
+// Minimal command-line flag parser shared by benches and examples.
+//
+// Supports --flag=value, --flag value, and boolean --flag forms. Unknown
+// flags are an error so that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptb {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Declare a flag with a default; returns the parsed value.
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help);
+  std::int64_t get_int(const std::string& name, std::int64_t def, const std::string& help);
+  double get_double(const std::string& name, double def, const std::string& help);
+  bool get_bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parse a comma-separated list of integers, e.g. "8192,16384,65536".
+  std::vector<std::int64_t> get_int_list(const std::string& name, const std::string& def,
+                                         const std::string& help);
+
+  /// Call after all get_* declarations. Prints usage and exits on --help;
+  /// aborts on unknown flags.
+  void finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct HelpEntry {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+
+  std::string program_;
+  std::map<std::string, std::string> args_;   // raw --name -> value
+  std::map<std::string, bool> consumed_;
+  std::vector<HelpEntry> help_;
+  bool want_help_ = false;
+};
+
+}  // namespace ptb

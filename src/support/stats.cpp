@@ -1,0 +1,41 @@
+#include "support/stats.hpp"
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  PTB_CHECK(buckets > 0);
+  PTB_CHECK(hi > lo);
+  counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(frac * static_cast<double>(counts_.size()));
+  idx = std::max(0l, std::min(idx, static_cast<long>(counts_.size()) - 1));
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+double imbalance_factor(const std::vector<double>& per_proc) {
+  if (per_proc.empty()) return 1.0;
+  double sum = 0.0;
+  double mx = 0.0;
+  for (double v : per_proc) {
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  const double mean = sum / static_cast<double>(per_proc.size());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+
+}  // namespace ptb

@@ -1,0 +1,69 @@
+// Small statistics accumulators used by the simulator and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ptb {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Used to report per-processor distributions (e.g. the
+/// paper's Figure 15 lock-count-per-processor plots).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Load-imbalance factor of a set of per-processor quantities:
+/// max / mean. 1.0 is perfectly balanced.
+double imbalance_factor(const std::vector<double>& per_proc);
+
+}  // namespace ptb

@@ -1,0 +1,81 @@
+// Per-processor node allocation with per-algorithm bookkeeping.
+//
+// ORIG draws from one shared pool through a shared fetch&add counter and
+// mirrors every assignment into shared pointer/count arrays (its false-sharing
+// hot spots); the other builders draw from their own pool with private
+// counters. UPDATE additionally recycles reclaimed nodes through a private
+// free list.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "bh/node.hpp"
+#include "bh/pool.hpp"
+#include "support/check.hpp"
+
+namespace ptb {
+
+struct ProcAlloc {
+  int proc = 0;
+  NodePool* pool = nullptr;
+
+  /// ORIG only: shared next-index counter into the global pool.
+  std::atomic<std::int64_t>* shared_counter = nullptr;
+  /// ORIG only: this processor's slice of the shared cell-pointer array and
+  /// its slot in the shared count array (charged writes).
+  Node** ptr_slice = nullptr;
+  std::size_t ptr_slice_cap = 0;
+  std::int64_t* shared_count = nullptr;
+
+  /// Creator bookkeeping (drives the moments phase).
+  std::vector<Node*>* created = nullptr;
+  /// UPDATE only: private list of reclaimed nodes for reuse.
+  std::vector<Node*>* freelist = nullptr;
+};
+
+/// Allocates a node, recording it in the creator list. Shared-side costs
+/// (counter RMW, pointer-array writes) are charged through the runtime.
+template <class RT>
+Node* alloc_node(RT& rt, ProcAlloc& a) {
+  Node* n = nullptr;
+  if (a.freelist != nullptr && !a.freelist->empty()) {
+    n = a.freelist->back();
+    a.freelist->pop_back();
+  } else if (a.shared_counter != nullptr) {
+    const std::int64_t idx = rt.fetch_add(*a.shared_counter, 1);
+    n = a.pool->at(idx);
+  } else {
+    n = a.pool->take();
+  }
+  n->created_idx = static_cast<std::int32_t>(a.created->size());
+  a.created->push_back(n);
+  if (a.ptr_slice != nullptr) {
+    rt.read(a.shared_count, sizeof(std::int64_t));
+    const auto k = static_cast<std::size_t>(*a.shared_count);
+    PTB_CHECK_MSG(k < a.ptr_slice_cap, "ORIG pointer slice exhausted");
+    a.ptr_slice[k] = n;
+    rt.write(&a.ptr_slice[k], sizeof(Node*));
+    *a.shared_count = static_cast<std::int64_t>(k) + 1;
+    rt.write(a.shared_count, sizeof(std::int64_t));
+  }
+  return n;
+}
+
+/// Removes a node from its creator's list (swap-removal) and, if a free list
+/// is present, makes it reusable. Must be called by the node's creator.
+inline void free_node(ProcAlloc& a, Node* n) {
+  PTB_DCHECK(n->creator == a.proc);
+  auto& vec = *a.created;
+  const auto idx = static_cast<std::size_t>(n->created_idx);
+  PTB_CHECK_MSG(idx < vec.size() && vec[idx] == n, "created-list bookkeeping corrupted");
+  Node* last = vec.back();
+  vec[idx] = last;
+  last->created_idx = static_cast<std::int32_t>(idx);
+  vec.pop_back();
+  n->created_idx = -1;
+  n->dead = true;
+  if (a.freelist != nullptr) a.freelist->push_back(n);
+}
+
+}  // namespace ptb

@@ -1,0 +1,36 @@
+// Helpers shared by the concrete builders.
+#pragma once
+
+#include <cstddef>
+
+#include "harness/state.hpp"
+#include "treebuild/insert.hpp"
+#include "treebuild/types.hpp"
+
+namespace ptb {
+
+/// Sizing for node pools. Empirically a Plummer distribution with leaf_cap 8
+/// uses ~0.45 nodes/body; we provision ~1.5x headroom plus a floor.
+inline std::size_t global_pool_capacity(int n) {
+  return static_cast<std::size_t>(n) + 8192;
+}
+inline std::size_t proc_pool_capacity(int n, int nprocs) {
+  return global_pool_capacity(n) * 2 / static_cast<std::size_t>(nprocs) + 4096;
+}
+
+/// Publishes the root pointer/cube (processor 0) and hands every processor a
+/// consistent view. Includes the barrier separating root creation from
+/// concurrent insertion.
+template <class RT>
+Node* publish_root(RT& rt, AppState& st, const Cube& rc, Node* root_if_p0) {
+  if (rt.self() == 0) {
+    st.tree.root = root_if_p0;
+    st.tree.root_cube = rc;
+    rt.write(&st.tree.root, sizeof(Node*) + sizeof(Cube));
+  }
+  rt.barrier();
+  rt.read(&st.tree.root, sizeof(Node*) + sizeof(Cube));
+  return st.tree.root;
+}
+
+}  // namespace ptb

@@ -1,0 +1,228 @@
+// Shared building blocks of the tree builders: the parallel root-cube
+// reduction, the lock-protected insertion protocol used by ORIG/LOCAL/UPDATE
+// (and PARTREE's per-body merge fallback), and the lock-free single-owner
+// insertion used for private subtrees (PARTREE local trees, SPACE subspaces).
+#pragma once
+
+#include "bh/body.hpp"
+#include "bh/config.hpp"
+#include "bh/node.hpp"
+#include "harness/state.hpp"
+#include "treebuild/alloc.hpp"
+
+namespace ptb {
+
+/// Computes the root cell dimensions from current body positions with a
+/// per-processor min/max reduction through the shared reduce slots (paper
+/// §2.1: "First, the dimensions of the root cell of the tree are determined
+/// from the current positions of the particles"). All processors return the
+/// identical cube; includes one barrier.
+template <class RT>
+Cube reduce_root_cube(RT& rt, AppState& st) {
+  const int p = rt.self();
+  const auto pi = static_cast<std::size_t>(p);
+  ReduceSlot& slot = st.tree.reduce[pi];
+  Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+  for (std::int32_t bi : st.partition[pi]) {
+    const Body& b = st.bodies[static_cast<std::size_t>(bi)];
+    rt.read(st.body_charge(bi), sizeof(Vec3));
+    rt.compute(3.0);
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], b.pos[d]);
+      hi[d] = std::max(hi[d], b.pos[d]);
+    }
+  }
+  for (int d = 0; d < 3; ++d) {
+    slot.min_v[d] = lo[d];
+    slot.max_v[d] = hi[d];
+  }
+  rt.write(&slot, sizeof(ReduceSlot));
+  rt.barrier();
+  Vec3 glo = lo, ghi = hi;
+  for (int q = 0; q < rt.nprocs(); ++q) {
+    const ReduceSlot& s = st.tree.reduce[static_cast<std::size_t>(q)];
+    rt.read(&s, sizeof(ReduceSlot));
+    rt.compute(2.0);
+    for (int d = 0; d < 3; ++d) {
+      glo[d] = std::min(glo[d], s.min_v[d]);
+      ghi[d] = std::max(ghi[d], s.max_v[d]);
+    }
+  }
+  return cube_from_minmax(glo, ghi);
+}
+
+struct InsertEnv {
+  const BHConfig* cfg = nullptr;
+  const Body* bodies = nullptr;
+  /// For body-data charge addresses (migration shadow arena).
+  const AppState* st = nullptr;
+  /// body index -> current leaf. Maintained for every builder (tests rely on
+  /// it); only UPDATE pays for it (`charge_leaf_map`), since only UPDATE
+  /// actually needs the map as a shared data structure.
+  std::atomic<Node*>* body_leaf = nullptr;
+  bool charge_leaf_map = false;
+};
+
+namespace detail {
+
+template <class RT>
+void note_leaf(RT& rt, const InsertEnv& env, std::int32_t bi, Node* leaf) {
+  if (env.body_leaf == nullptr) return;
+  std::atomic<Node*>& slot = env.body_leaf[static_cast<std::size_t>(bi)];
+  if (env.charge_leaf_map) {
+    // UPDATE reads this map lock-free while relocating; go through the
+    // ordered store so readers see a virtual-time-consistent value.
+    rt.ordered_store(slot, leaf, &slot, sizeof(Node*));
+  } else {
+    slot.store(leaf, std::memory_order_release);
+  }
+}
+
+/// Creates a leaf child of `cell` in octant `o` seeded with body `bi`.
+/// Caller holds cell's lock (shared builders) or owns the subtree (private).
+template <class RT>
+Node* make_seeded_leaf(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* cell, int o,
+                       std::int32_t bi) {
+  Node* leaf = alloc_node(rt, alloc);
+  leaf->init_leaf(cell->cube.child(o), cell, cell->level + 1, alloc.proc, o);
+  leaf->bodies[0] = bi;
+  leaf->nbodies = 1;
+  rt.write(leaf, 64);  // coarse: the new node's header lands in our cache
+  rt.compute(work::kInsertBody);
+  note_leaf(rt, env, bi, leaf);
+  return leaf;
+}
+
+/// Splits a full leaf in place. Caller holds the leaf's lock (or owns it).
+/// New children are invisible to other processors until to_cell() publishes.
+template <class RT>
+void subdivide_leaf(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* node) {
+  rt.compute(work::kSubdivide);
+  std::int32_t prev[kLeafCapacity];
+  const int nprev = node->nbodies;
+  for (int i = 0; i < nprev; ++i) prev[i] = node->bodies[i];
+  node->nbodies = 0;
+  for (int i = 0; i < nprev; ++i) {
+    const std::int32_t bj = prev[i];
+    const Vec3& q = env.bodies[static_cast<std::size_t>(bj)].pos;
+    rt.read(env.st->body_charge(bj), sizeof(Vec3));
+    const int o = node->cube.octant_of(q);
+    Node* slot = node->get_child(o, std::memory_order_relaxed);
+    if (slot == nullptr) {
+      slot = make_seeded_leaf(rt, env, alloc, node, o, bj);
+      node->set_child(o, slot, std::memory_order_relaxed);
+      rt.write(&node->child[o], sizeof(Node*));
+    } else {
+      slot->bodies[slot->nbodies++] = bj;
+      rt.write(&slot->bodies[0], 16);
+      rt.compute(work::kInsertBody);
+      note_leaf(rt, env, bj, slot);
+    }
+  }
+  // Publish: the kind flip is what makes the new children visible to
+  // lock-free descents, so it goes through the ordered store.
+  node->nbodies = 0;
+  rt.ordered_store(node->kind, NodeKind::kCell, &node->kind, 8);
+}
+
+}  // namespace detail
+
+/// Inserts one body into a tree that other processors are concurrently
+/// building, locking cells/leaves as they are modified (paper §2.1: "when a
+/// particle is actually inserted or a cell actually subdivided, a lock is
+/// required"). Descent itself is lock-free.
+template <class RT>
+void shared_insert(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* start,
+                   std::int32_t bi) {
+  const Vec3 p = env.bodies[static_cast<std::size_t>(bi)].pos;
+  Node* node = start;
+  for (;;) {
+    PTB_DCHECK(node->cube.contains(p));
+    rt.compute(work::kDescendStep);
+    // Lock-free descent: kind and child slots are racy, so they are read
+    // through the runtime's ordered loads (geometry is immutable once a node
+    // is published and is read raw; its traffic is charged with the kind).
+    const NodeKind kind = rt.ordered_load(node->kind, node, 48);
+    if (kind == NodeKind::kCell) {
+      const int o = node->cube.octant_of(p);
+      Node* next = rt.ordered_load(node->child[o], &node->child[o], sizeof(Node*));
+      if (next == nullptr) {
+        const void* lk = env.st->node_lock(node);
+        rt.lock(lk);
+        next = node->get_child(o, std::memory_order_relaxed);  // safe: lock held
+        if (next == nullptr) {
+          Node* leaf = detail::make_seeded_leaf(rt, env, alloc, node, o, bi);
+          rt.ordered_store(node->child[o], leaf, &node->child[o], sizeof(Node*));
+          rt.unlock(lk);
+          return;
+        }
+        rt.unlock(lk);  // someone else filled the slot; descend into it
+      }
+      node = next;
+      continue;
+    }
+    // Leaf (as of the ordered read): take its lock and re-validate. Under
+    // the lock, raw accesses are race-free and deterministic (kind only
+    // changes while holding this lock).
+    const void* lk = env.st->node_lock(node);
+    rt.lock(lk);
+    if (node->is_cell(std::memory_order_relaxed)) {
+      rt.unlock(lk);
+      continue;  // converted under us; re-examine as a cell
+    }
+    PTB_DCHECK(!node->dead);
+    rt.read(&node->nbodies, 8);
+    if (node->nbodies < env.cfg->leaf_cap || node->level >= env.cfg->max_level) {
+      PTB_CHECK_MSG(node->nbodies < kLeafCapacity,
+                    "too many coincident bodies for kLeafCapacity at max_level");
+      node->bodies[node->nbodies++] = bi;
+      rt.write(&node->bodies[0], 16);
+      rt.compute(work::kInsertBody);
+      detail::note_leaf(rt, env, bi, node);
+      rt.unlock(lk);
+      return;
+    }
+    detail::subdivide_leaf(rt, env, alloc, node);
+    rt.unlock(lk);
+    // Loop: node is now a cell; descend with bi.
+  }
+}
+
+/// Single-owner insertion into a private (sub)tree: identical structure, no
+/// locks (paper §2.4: "the building of the local trees does not require any
+/// communication or synchronization").
+template <class RT>
+void private_insert(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* start,
+                    std::int32_t bi) {
+  const Vec3 p = env.bodies[static_cast<std::size_t>(bi)].pos;
+  Node* node = start;
+  for (;;) {
+    PTB_DCHECK(node->cube.contains(p));
+    rt.compute(work::kDescendStep);
+    rt.read(node, 48);
+    if (node->is_cell(std::memory_order_relaxed)) {
+      const int o = node->cube.octant_of(p);
+      Node* next = node->get_child(o, std::memory_order_relaxed);
+      if (next == nullptr) {
+        next = detail::make_seeded_leaf(rt, env, alloc, node, o, bi);
+        node->set_child(o, next, std::memory_order_relaxed);
+        rt.write(&node->child[o], sizeof(Node*));
+        return;
+      }
+      node = next;
+      continue;
+    }
+    if (node->nbodies < env.cfg->leaf_cap || node->level >= env.cfg->max_level) {
+      PTB_CHECK_MSG(node->nbodies < kLeafCapacity,
+                    "too many coincident bodies for kLeafCapacity at max_level");
+      node->bodies[node->nbodies++] = bi;
+      rt.write(&node->bodies[0], 16);
+      rt.compute(work::kInsertBody);
+      detail::note_leaf(rt, env, bi, node);
+      return;
+    }
+    detail::subdivide_leaf(rt, env, alloc, node);
+  }
+}
+
+}  // namespace ptb

@@ -1,0 +1,77 @@
+// LOCAL (paper §2.2) — the SPLASH-2 BARNES tree build.
+//
+// Same concurrent locked insertion into one shared tree as ORIG, but each
+// processor allocates from its OWN contiguous cell/leaf arrays (so its nodes
+// land in local memory and don't share lines/pages with other processors'
+// nodes) and keeps its frequently-used counters in private memory. The paper
+// shows these data-structure changes alone are decisive on CC-NUMA machines.
+#pragma once
+
+#include <vector>
+
+#include "treebuild/builder_common.hpp"
+
+namespace ptb {
+
+class LocalBuilder {
+ public:
+  static constexpr Algorithm kAlgorithm = Algorithm::kLocal;
+
+  explicit LocalBuilder(AppState& st) : st_(&st) {
+    for (auto& pool : st.storage.per_proc)
+      pool.init(proc_pool_capacity(st.cfg.n, st.nprocs));
+  }
+
+  template <class Ctx>
+  void register_regions(Ctx& ctx) {
+    for (int p = 0; p < st_->nprocs; ++p) {
+      auto& pool = st_->storage.per_proc[static_cast<std::size_t>(p)];
+      ctx.register_region(pool.base(), pool.size_bytes(), HomePolicy::kFixed, p,
+                          "local.cells.p" + std::to_string(p));
+    }
+  }
+
+  void reset() {}
+
+  template <class RT>
+  void build(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const auto pi = static_cast<std::size_t>(p);
+
+    const Cube rc = reduce_root_cube(rt, st);
+    st.tree.created[pi].clear();
+    rt.barrier();
+
+    ProcAlloc alloc = make_alloc(p);
+    Node* root = nullptr;
+    if (p == 0) {
+      for (auto& pool : st_->storage.per_proc) pool.reset();
+      root = alloc_node(rt, alloc);
+      root->init_leaf(rc, nullptr, 0, 0);
+      rt.write(root, 64);
+    }
+    root = publish_root(rt, st, rc, root);
+
+    InsertEnv env{&st.cfg, st.bodies.data(), &st, st.tree.body_leaf.get(), false};
+    for (std::int32_t bi : st.partition[pi]) {
+      rt.read(st.body_charge(bi), sizeof(Vec3));
+      shared_insert(rt, env, alloc, root, bi);
+    }
+  }
+
+  std::vector<NodePool>& pools() { return st_->storage.per_proc; }
+
+ private:
+  ProcAlloc make_alloc(int p) {
+    ProcAlloc a;
+    a.proc = p;
+    a.pool = &st_->storage.per_proc[static_cast<std::size_t>(p)];
+    a.created = &st_->tree.created[static_cast<std::size_t>(p)];
+    return a;
+  }
+
+  AppState* st_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,102 @@
+// ORIG (paper §2.1) — the SPLASH BARNES tree build.
+//
+// Every cell lives in ONE contiguous shared array; a processor grabs the next
+// free index with a shared fetch&add counter. Each processor also mirrors the
+// cells assigned to it into a per-processor slice of a shared pointer array
+// and bumps its slot in a shared count array. Processors concurrently load
+// their own particles (the previous step's force-calculation assignment) into
+// the single shared tree, locking any cell/leaf they modify.
+//
+// On CC-NUMA and especially on SVM platforms this is the pathological case:
+// interleaved allocation scatters a processor's cells across remote homes and
+// packs unrelated processors' cells into the same lines/pages (false
+// sharing), and the shared counter is a global serialization point.
+#pragma once
+
+#include <vector>
+
+#include "treebuild/builder_common.hpp"
+
+namespace ptb {
+
+class OrigBuilder {
+ public:
+  static constexpr Algorithm kAlgorithm = Algorithm::kOrig;
+
+  explicit OrigBuilder(AppState& st) : st_(&st) {
+    const std::size_t cap = global_pool_capacity(st.cfg.n);
+    st.storage.global.init(cap);
+    slice_cap_ = cap * 3 / static_cast<std::size_t>(st.nprocs) + 4096;
+    ptr_array_.assign(slice_cap_ * static_cast<std::size_t>(st.nprocs), nullptr);
+    counts_.assign(static_cast<std::size_t>(st.nprocs), 0);
+  }
+
+  template <class Ctx>
+  void register_regions(Ctx& ctx) {
+    NodePool& pool = st_->storage.global;
+    ctx.register_region(pool.base(), pool.size_bytes(), HomePolicy::kInterleavedBlock, 0,
+                        "orig.cells");
+    ctx.register_region(ptr_array_.data(), ptr_array_.size() * sizeof(Node*),
+                        HomePolicy::kProcStriped, 0, "orig.cellptrs");
+    // The per-processor counters sit adjacently in one shared array — the
+    // false-sharing hot spot the paper's §2.2 calls out.
+    ctx.register_region(counts_.data(), counts_.size() * sizeof(std::int64_t),
+                        HomePolicy::kFixed, 0, "orig.counts");
+  }
+
+  void reset() {}
+
+  template <class RT>
+  void build(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const auto pi = static_cast<std::size_t>(p);
+
+    const Cube rc = reduce_root_cube(rt, st);
+
+    // Fresh tree: everyone drops bookkeeping, then processor 0 resets the
+    // shared pool and creates the root.
+    st.tree.created[pi].clear();
+    counts_[pi] = 0;
+    rt.write(&counts_[pi], sizeof(std::int64_t));
+    rt.barrier();
+
+    ProcAlloc alloc = make_alloc(p);
+    Node* root = nullptr;
+    if (p == 0) {
+      pool().reset();
+      root = alloc_node(rt, alloc);
+      root->init_leaf(rc, nullptr, 0, 0);
+      rt.write(root, 64);
+    }
+    root = publish_root(rt, st, rc, root);
+
+    InsertEnv env{&st.cfg, st.bodies.data(), &st, st.tree.body_leaf.get(), false};
+    for (std::int32_t bi : st.partition[pi]) {
+      rt.read(st.body_charge(bi), sizeof(Vec3));
+      shared_insert(rt, env, alloc, root, bi);
+    }
+  }
+
+  NodePool& pool() { return st_->storage.global; }
+
+ private:
+  ProcAlloc make_alloc(int p) {
+    ProcAlloc a;
+    a.proc = p;
+    a.pool = &st_->storage.global;
+    a.shared_counter = &st_->storage.global.counter();
+    a.ptr_slice = ptr_array_.data() + static_cast<std::size_t>(p) * slice_cap_;
+    a.ptr_slice_cap = slice_cap_;
+    a.shared_count = &counts_[static_cast<std::size_t>(p)];
+    a.created = &st_->tree.created[static_cast<std::size_t>(p)];
+    return a;
+  }
+
+  AppState* st_;
+  AlignedVec<Node*> ptr_array_;  // nprocs slices of slice_cap_ each
+  std::size_t slice_cap_ = 0;
+  AlignedVec<std::int64_t> counts_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,169 @@
+// PARTREE (paper §2.4) — per-processor local trees merged into the global
+// tree.
+//
+// Each processor first builds a private tree over its own particles with NO
+// synchronization at all (the local cubes are precomputed to match the global
+// root, so corresponding cells in any two trees represent identical
+// subspaces). The local trees are then merged: the work unit becomes a cell
+// or a whole subtree instead of a particle, which slashes the number of
+// global lock acquisitions at a small cost in redundant work.
+#pragma once
+
+#include <vector>
+
+#include "treebuild/builder_common.hpp"
+
+namespace ptb {
+
+class PartreeBuilder {
+ public:
+  static constexpr Algorithm kAlgorithm = Algorithm::kPartree;
+
+  explicit PartreeBuilder(AppState& st) : st_(&st) {
+    for (auto& pool : st.storage.per_proc)
+      pool.init(proc_pool_capacity(st.cfg.n, st.nprocs));
+  }
+
+  template <class Ctx>
+  void register_regions(Ctx& ctx) {
+    for (int p = 0; p < st_->nprocs; ++p) {
+      auto& pool = st_->storage.per_proc[static_cast<std::size_t>(p)];
+      ctx.register_region(pool.base(), pool.size_bytes(), HomePolicy::kFixed, p,
+                          "partree.cells.p" + std::to_string(p));
+    }
+  }
+
+  void reset() {}
+
+  template <class RT>
+  void build(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const auto pi = static_cast<std::size_t>(p);
+
+    const Cube rc = reduce_root_cube(rt, st);
+    st.tree.created[pi].clear();
+    rt.barrier();
+
+    ProcAlloc alloc = make_alloc(p);
+    Node* groot = nullptr;
+    if (p == 0) {
+      for (auto& pool : st_->storage.per_proc) pool.reset();
+      groot = alloc_node(rt, alloc);
+      groot->init_leaf(rc, nullptr, 0, 0);
+      groot->to_cell();  // the global root starts as an empty cell to merge into
+      rt.write(groot, 64);
+    }
+    groot = publish_root(rt, st, rc, groot);
+
+    // Phase 1: private local tree (no locks, no communication).
+    const InsertEnv env{&st.cfg, st.bodies.data(), &st, st.tree.body_leaf.get(), false};
+    Node* lroot = alloc_node(rt, alloc);
+    lroot->init_leaf(rc, nullptr, 0, p);
+    rt.write(lroot, 64);
+    for (std::int32_t bi : st.partition[pi]) {
+      rt.read(st.body_charge(bi), sizeof(Vec3));
+      private_insert(rt, env, alloc, lroot, bi);
+    }
+
+    // Phase 2: merge the local tree into the global tree.
+    if (lroot->is_leaf(std::memory_order_relaxed)) {
+      // Few bodies: fall back to per-body insertion.
+      for (int i = 0; i < lroot->nbodies; ++i)
+        shared_insert(rt, env, alloc, groot, lroot->bodies[i]);
+    } else {
+      merge_node(rt, env, alloc, groot, lroot);
+    }
+    free_node(alloc, lroot);
+  }
+
+  std::vector<NodePool>& pools() { return st_->storage.per_proc; }
+
+ private:
+  ProcAlloc make_alloc(int p) {
+    ProcAlloc a;
+    a.proc = p;
+    a.pool = &st_->storage.per_proc[static_cast<std::size_t>(p)];
+    a.created = &st_->tree.created[static_cast<std::size_t>(p)];
+    return a;
+  }
+
+  /// Merges local cell `l` into global cell `g` (same cube). `l` itself is
+  /// not freed here — the caller disposes of it after its children have been
+  /// grafted or dissolved.
+  template <class RT>
+  void merge_node(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* g, Node* l) {
+    for (int o = 0; o < 8; ++o) {
+      Node* lc = l->get_child(o, std::memory_order_relaxed);
+      if (lc == nullptr) continue;
+      merge_child(rt, env, alloc, g, o, lc);
+    }
+  }
+
+  template <class RT>
+  void merge_child(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* g, int o,
+                   Node* lc) {
+    for (;;) {
+      rt.compute(work::kDescendStep);
+      Node* gc = rt.ordered_load(g->child[o], &g->child[o], sizeof(Node*));
+      if (gc == nullptr) {
+        const void* glk = env.st->node_lock(g);
+        rt.lock(glk);
+        gc = g->get_child(o, std::memory_order_relaxed);  // safe: lock held
+        if (gc == nullptr) {
+          // Graft the entire local subtree: one lock for a whole subtree.
+          lc->parent = g;
+          rt.write(&lc->parent, sizeof(Node*));
+          rt.ordered_store(g->child[o], lc, &g->child[o], sizeof(Node*));
+          rt.unlock(glk);
+          return;
+        }
+        rt.unlock(glk);
+        continue;  // slot filled under us; re-examine
+      }
+      const NodeKind gc_kind = rt.ordered_load(gc->kind, gc, 48);
+      if (gc_kind == NodeKind::kCell) {
+        if (lc->is_cell(std::memory_order_relaxed)) {
+          merge_node(rt, env, alloc, gc, lc);
+        } else {
+          for (int i = 0; i < lc->nbodies; ++i)
+            shared_insert(rt, env, alloc, gc, lc->bodies[i]);
+        }
+        free_node(alloc, lc);
+        return;
+      }
+      // gc read as a leaf: confirm under its lock.
+      const void* lk = env.st->node_lock(gc);
+      rt.lock(lk);
+      if (gc->is_cell(std::memory_order_relaxed)) {
+        rt.unlock(lk);
+        continue;
+      }
+      if (lc->is_cell(std::memory_order_relaxed) ||
+          (gc->nbodies + lc->nbodies > env.cfg->leaf_cap &&
+           gc->level < env.cfg->max_level)) {
+        // Push gc's occupants one level down, making gc a cell; then the
+        // cell-side paths above apply.
+        detail::subdivide_leaf(rt, env, alloc, gc);
+        rt.unlock(lk);
+        continue;
+      }
+      // Both leaves and they fit (or we're at max depth): combine.
+      PTB_CHECK_MSG(gc->nbodies + lc->nbodies <= kLeafCapacity,
+                    "too many coincident bodies for kLeafCapacity at max_level");
+      for (int i = 0; i < lc->nbodies; ++i) {
+        gc->bodies[gc->nbodies++] = lc->bodies[i];
+        detail::note_leaf(rt, env, lc->bodies[i], gc);
+      }
+      rt.write(&gc->bodies[0], 32);
+      rt.compute(work::kInsertBody * lc->nbodies);
+      rt.unlock(lk);
+      free_node(alloc, lc);
+      return;
+    }
+  }
+
+  AppState* st_;
+};
+
+}  // namespace ptb

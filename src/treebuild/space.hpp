@@ -1,0 +1,291 @@
+// SPACE (paper §2.5) — the paper's new, lock-free tree build.
+//
+// Tree building gets its OWN spatial partition, decoupled from the costzones
+// partition used by the force/update phases. The space is recursively
+// subdivided (counting bodies per octant each round) until every subspace
+// holds at most `space_threshold` bodies; the resulting partitioning tree is
+// exactly the top of the final octree and is materialized as "upper" cells.
+// Subspaces are assigned to processors (greedy LPT on body counts); each
+// processor gathers the bodies that fall in its subspaces (this is SPACE's
+// communication/locality cost), builds one private subtree per subspace, and
+// attaches it to the upper tree WITHOUT locking — no two processors ever
+// touch the same child slot.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "treebuild/builder_common.hpp"
+
+namespace ptb {
+
+class SpaceBuilder {
+ public:
+  static constexpr Algorithm kAlgorithm = Algorithm::kSpace;
+
+  /// Upper-tree depth cap; the paper notes the partitioning tree is "usually
+  /// below 4" levels.
+  static constexpr int kMaxUpperLevels = 8;
+  static constexpr std::size_t kMaxSlots = 65536;       // frontier cells * 8 per round
+  static constexpr std::size_t kMaxSubspaces = 16384;
+
+  explicit SpaceBuilder(AppState& st) : st_(&st) {
+    const auto np = static_cast<std::size_t>(st.nprocs);
+    for (auto& pool : st.storage.per_proc)
+      pool.init(proc_pool_capacity(st.cfg.n, st.nprocs));
+    counts_.assign(np * kMaxSlots, 0);
+    bodybuf_.assign(np * static_cast<std::size_t>(st.cfg.n), 0);
+    sub_start_.assign(kMaxSubspaces * np, 0);
+    sub_len_.assign(kMaxSubspaces * np, 0);
+  }
+
+  template <class Ctx>
+  void register_regions(Ctx& ctx) {
+    const auto np = static_cast<std::size_t>(st_->nprocs);
+    for (int p = 0; p < st_->nprocs; ++p) {
+      auto& pool = st_->storage.per_proc[static_cast<std::size_t>(p)];
+      ctx.register_region(pool.base(), pool.size_bytes(), HomePolicy::kFixed, p,
+                          "space.cells.p" + std::to_string(p));
+    }
+    ctx.register_region(counts_.data(), np * kMaxSlots * sizeof(std::int64_t),
+                        HomePolicy::kProcStriped, 0, "space.counts");
+    ctx.register_region(bodybuf_.data(), bodybuf_.size() * sizeof(std::int32_t),
+                        HomePolicy::kProcStriped, 0, "space.bodybuf");
+    ctx.register_region(sub_start_.data(), sub_start_.size() * sizeof(std::int32_t),
+                        HomePolicy::kInterleavedBlock, 0, "space.substart");
+    ctx.register_region(sub_len_.data(), sub_len_.size() * sizeof(std::int32_t),
+                        HomePolicy::kInterleavedBlock, 0, "space.sublen");
+  }
+
+  void reset() {}
+
+  template <class RT>
+  void build(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const int np = rt.nprocs();
+    const auto pi = static_cast<std::size_t>(p);
+    const int threshold =
+        std::max(st.cfg.effective_space_threshold(np), st.cfg.leaf_cap);
+
+    const Cube rc = reduce_root_cube(rt, st);
+    st.tree.created[pi].clear();
+    rt.barrier();
+    ProcAlloc alloc = make_alloc(p);
+
+    // --- subdivision rounds (build the partitioning/upper tree) ---
+    struct Entry {
+      Node* node;  // materialized upper cell (cells only)
+      Cube cube;
+      int level;
+    };
+    struct Subspace {
+      Node* parent;  // null only when the whole space is one subspace
+      int octant;
+      Cube cube;
+      int level;
+      std::int64_t total;
+      std::vector<std::int32_t> mine;  // this processor's bodies inside
+    };
+    std::vector<Entry> frontier;
+    std::vector<std::vector<std::int32_t>> lists;  // my bodies per frontier entry
+    std::vector<Subspace> subs;
+
+    Node* root = nullptr;
+    if (st.cfg.n > threshold) {
+      if (p == 0) {
+        for (auto& pool : st_->storage.per_proc) pool.reset();
+        root = alloc_node(rt, alloc);
+        root->init_leaf(rc, nullptr, 0, 0);
+        root->to_cell();
+        rt.write(root, 64);
+      }
+      root = publish_root(rt, st, rc, root);
+      frontier.push_back(Entry{root, rc, 0});
+      lists.emplace_back(st.partition[pi].begin(), st.partition[pi].end());
+    } else {
+      // Degenerate: the whole space is a single subspace.
+      if (p == 0)
+        for (auto& pool : st_->storage.per_proc) pool.reset();
+      rt.barrier();
+      Subspace s{nullptr, 0, rc, 0, st.cfg.n, {}};
+      s.mine.assign(st.partition[pi].begin(), st.partition[pi].end());
+      subs.push_back(std::move(s));
+    }
+
+    while (!frontier.empty()) {
+      const std::size_t slots = frontier.size() * 8;
+      PTB_CHECK_MSG(slots <= kMaxSlots, "SPACE frontier exceeds the count buffer");
+      std::int64_t* row = counts_.data() + pi * kMaxSlots;
+      std::fill(row, row + slots, 0);
+      std::vector<std::vector<std::int32_t>> binned(slots);
+
+      // Count my bodies per (frontier cell, octant).
+      for (std::size_t f = 0; f < frontier.size(); ++f) {
+        for (std::int32_t bi : lists[f]) {
+          const Body& b = st.bodies[static_cast<std::size_t>(bi)];
+          rt.read(st.body_charge(bi), sizeof(Vec3));
+          rt.compute(work::kBinBody);
+          const int o = frontier[f].cube.octant_of(b.pos);
+          ++row[f * 8 + static_cast<std::size_t>(o)];
+          binned[f * 8 + static_cast<std::size_t>(o)].push_back(bi);
+        }
+      }
+      rt.write(row, slots * sizeof(std::int64_t));
+      rt.barrier();
+
+      // Everyone reads everyone's counts and derives the identical split.
+      std::vector<std::int64_t> total(slots, 0);
+      for (int q = 0; q < np; ++q) {
+        const std::int64_t* qrow = counts_.data() + static_cast<std::size_t>(q) * kMaxSlots;
+        rt.read(qrow, slots * sizeof(std::int64_t));
+        rt.compute(static_cast<double>(slots));
+        for (std::size_t s = 0; s < slots; ++s) total[s] += qrow[s];
+      }
+
+      std::vector<Entry> next;
+      std::vector<std::vector<std::int32_t>> next_lists;
+      for (std::size_t f = 0; f < frontier.size(); ++f) {
+        for (int o = 0; o < 8; ++o) {
+          const std::size_t s = f * 8 + static_cast<std::size_t>(o);
+          if (total[s] == 0) continue;
+          const Cube ccube = frontier[f].cube.child(o);
+          const int clevel = frontier[f].level + 1;
+          if (total[s] > threshold && clevel < kMaxUpperLevels) {
+            if (p == 0) {
+              Node* cell = alloc_node(rt, alloc);
+              cell->init_leaf(ccube, frontier[f].node, clevel, 0, o);
+              cell->to_cell();
+              rt.write(cell, 64);
+              frontier[f].node->set_child(o, cell);
+              rt.write(&frontier[f].node->child[o], sizeof(Node*));
+            }
+            next.push_back(Entry{nullptr, ccube, clevel});
+            next_lists.push_back(std::move(binned[s]));
+          } else {
+            Subspace sub{frontier[f].node, o, ccube, clevel, total[s],
+                         std::move(binned[s])};
+            subs.push_back(std::move(sub));
+          }
+        }
+      }
+      rt.barrier();  // upper cells materialized by processor 0
+      // Resolve the freshly created upper-cell pointers.
+      {
+        std::size_t k = 0;
+        for (std::size_t f = 0; f < frontier.size() && k < next.size(); ++f) {
+          for (int o = 0; o < 8; ++o) {
+            const std::size_t s = f * 8 + static_cast<std::size_t>(o);
+            if (total[s] > threshold && frontier[f].level + 1 < kMaxUpperLevels &&
+                total[s] != 0) {
+              rt.read(&frontier[f].node->child[o], sizeof(Node*));
+              next[k].node = frontier[f].node->get_child(o);
+              PTB_CHECK(next[k].node != nullptr);
+              ++k;
+            }
+          }
+        }
+      }
+      frontier = std::move(next);
+      lists = std::move(next_lists);
+    }
+
+    // --- assign subspaces to processors: greedy LPT on body counts ---
+    PTB_CHECK_MSG(subs.size() <= kMaxSubspaces, "too many SPACE subspaces");
+    std::vector<int> owner(subs.size(), 0);
+    {
+      std::vector<std::size_t> order(subs.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (subs[a].total != subs[b].total) return subs[a].total > subs[b].total;
+        return a < b;
+      });
+      std::vector<std::int64_t> load(static_cast<std::size_t>(np), 0);
+      for (std::size_t i : order) {
+        int best = 0;
+        for (int q = 1; q < np; ++q)
+          if (load[static_cast<std::size_t>(q)] < load[static_cast<std::size_t>(best)])
+            best = q;
+        owner[i] = best;
+        load[static_cast<std::size_t>(best)] += subs[i].total;
+      }
+      rt.compute(static_cast<double>(subs.size()) * 4.0);
+    }
+
+    // --- publish my per-subspace body lists through the shared buffers ---
+    {
+      std::int32_t* buf = bodybuf_.data() + pi * static_cast<std::size_t>(st.cfg.n);
+      std::int32_t cursor = 0;
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        const auto& mine = subs[i].mine;
+        sub_start_[i * static_cast<std::size_t>(np) + pi] = cursor;
+        sub_len_[i * static_cast<std::size_t>(np) + pi] =
+            static_cast<std::int32_t>(mine.size());
+        rt.write(&sub_start_[i * static_cast<std::size_t>(np) + pi], 4);
+        rt.write(&sub_len_[i * static_cast<std::size_t>(np) + pi], 4);
+        for (std::int32_t bi : mine) buf[cursor++] = bi;
+        if (!mine.empty())
+          rt.write(buf + cursor - static_cast<std::int32_t>(mine.size()),
+                   mine.size() * sizeof(std::int32_t));
+      }
+    }
+    rt.barrier();
+
+    // --- build my subspaces' subtrees privately and attach without locks ---
+    const InsertEnv env{&st.cfg, st.bodies.data(), &st, st.tree.body_leaf.get(), false};
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (owner[i] != p) continue;
+      const Subspace& s = subs[i];
+      Node* subroot = alloc_node(rt, alloc);
+      subroot->init_leaf(s.cube, s.parent, s.level, p, s.octant);
+      rt.write(subroot, 64);
+      for (int q = 0; q < np; ++q) {
+        const std::size_t slot = i * static_cast<std::size_t>(np) + static_cast<std::size_t>(q);
+        rt.read(&sub_start_[slot], 4);
+        rt.read(&sub_len_[slot], 4);
+        const std::int32_t start = sub_start_[slot];
+        const std::int32_t len = sub_len_[slot];
+        if (len == 0) continue;
+        const std::int32_t* src =
+            bodybuf_.data() + static_cast<std::size_t>(q) * static_cast<std::size_t>(st.cfg.n) +
+            static_cast<std::size_t>(start);
+        rt.read(src, static_cast<std::size_t>(len) * sizeof(std::int32_t));
+        for (std::int32_t k = 0; k < len; ++k) {
+          const std::int32_t bi = src[k];
+          // Bodies in my subspace generally belong to OTHER processors'
+          // partitions: this read is SPACE's locality cost.
+          rt.read(st.body_charge(bi), sizeof(Vec3));
+          private_insert(rt, env, alloc, subroot, bi);
+        }
+      }
+      if (s.parent == nullptr) {
+        // Whole space in one subspace: the subtree IS the tree.
+        st.tree.root = subroot;
+        st.tree.root_cube = rc;
+        rt.write(&st.tree.root, sizeof(Node*) + sizeof(Cube));
+      } else {
+        s.parent->set_child(s.octant, subroot);
+        rt.write(&s.parent->child[s.octant], sizeof(Node*));
+      }
+    }
+  }
+
+  std::vector<NodePool>& pools() { return st_->storage.per_proc; }
+
+ private:
+  ProcAlloc make_alloc(int p) {
+    ProcAlloc a;
+    a.proc = p;
+    a.pool = &st_->storage.per_proc[static_cast<std::size_t>(p)];
+    a.created = &st_->tree.created[static_cast<std::size_t>(p)];
+    return a;
+  }
+
+  AppState* st_;
+  AlignedVec<std::int64_t> counts_;
+  AlignedVec<std::int32_t> bodybuf_;
+  AlignedVec<std::int32_t> sub_start_;
+  AlignedVec<std::int32_t> sub_len_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,41 @@
+#include "treebuild/types.hpp"
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kOrig:
+      return "ORIG";
+    case Algorithm::kLocal:
+      return "LOCAL";
+    case Algorithm::kUpdate:
+      return "UPDATE";
+    case Algorithm::kPartree:
+      return "PARTREE";
+    case Algorithm::kSpace:
+      return "SPACE";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_name(const std::string& name) {
+  for (Algorithm a : all_algorithms())
+    if (name == algorithm_name(a)) return a;
+  // Accept lowercase too.
+  if (name == "orig") return Algorithm::kOrig;
+  if (name == "local") return Algorithm::kLocal;
+  if (name == "update") return Algorithm::kUpdate;
+  if (name == "partree") return Algorithm::kPartree;
+  if (name == "space") return Algorithm::kSpace;
+  PTB_CHECK_MSG(false, "unknown algorithm name");
+  return Algorithm::kOrig;
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kOrig, Algorithm::kLocal, Algorithm::kUpdate, Algorithm::kPartree,
+          Algorithm::kSpace};
+}
+
+}  // namespace ptb

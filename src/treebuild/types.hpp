@@ -1,0 +1,25 @@
+// The five parallel tree-building algorithms studied by the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptb {
+
+enum class Algorithm : int {
+  kOrig = 0,     // §2.1 SPLASH: one shared cell array, per-cell locks,
+                 //      global next-cell counter, shared count arrays
+  kLocal = 1,    // §2.2 SPLASH-2: per-processor pools, private counters
+  kUpdate = 2,   // §2.3 incremental per-step tree update
+  kPartree = 3,  // §2.4 local trees merged subtree-wise into the global tree
+  kSpace = 4,    // §2.5 the paper's new algorithm: separate spatial
+                 //      partition for tree building; zero locks
+};
+
+inline constexpr int kNumAlgorithms = 5;
+
+const char* algorithm_name(Algorithm a);
+Algorithm algorithm_from_name(const std::string& name);
+std::vector<Algorithm> all_algorithms();
+
+}  // namespace ptb

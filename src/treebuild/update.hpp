@@ -1,0 +1,282 @@
+// UPDATE (paper §2.3) — incremental per-timestep tree update.
+//
+// The tree persists across time-steps. Each step: (1) the root cube is
+// recomputed from the new body positions and every node's absolute bounds are
+// refreshed top-down (relative positions in the tree are invariant, so a
+// node's cube is parent.cube.child(octant) — this replaces the paper's
+// "record the space bounds of the previous time step" bookkeeping with an
+// equivalent recomputation); (2) each processor checks its bodies against
+// their leaf's new bounds and relocates movers: remove from the old leaf
+// under its lock, walk up to the first ancestor that contains the new
+// position, and re-insert from there with the usual locked insertion;
+// (3) leaves left empty (and cells left childless) are reclaimed in a
+// deepest-level-first sweep by their creators.
+#pragma once
+
+#include <vector>
+
+#include "treebuild/builder_common.hpp"
+
+namespace ptb {
+
+class UpdateBuilder {
+ public:
+  static constexpr Algorithm kAlgorithm = Algorithm::kUpdate;
+
+  explicit UpdateBuilder(AppState& st) : st_(&st) {
+    for (auto& pool : st.storage.per_proc)
+      pool.init(proc_pool_capacity(st.cfg.n, st.nprocs));
+    freelists_.resize(static_cast<std::size_t>(st.nprocs));
+  }
+
+  template <class Ctx>
+  void register_regions(Ctx& ctx) {
+    for (int p = 0; p < st_->nprocs; ++p) {
+      auto& pool = st_->storage.per_proc[static_cast<std::size_t>(p)];
+      ctx.register_region(pool.base(), pool.size_bytes(), HomePolicy::kFixed, p,
+                          "update.cells.p" + std::to_string(p));
+    }
+    // UPDATE is the one builder that needs the body -> leaf map as a real
+    // shared structure; it pays for it.
+    ctx.register_region(st_->tree.body_leaf.get(),
+                        static_cast<std::size_t>(st_->tree.nbodies) * sizeof(Node*),
+                        HomePolicy::kProcStriped, 0, "update.bodyleaf");
+  }
+
+  void reset() { built_ = false; }
+
+  /// True if `inner` fits entirely inside `outer`.
+  static bool covers(const Cube& outer, const Cube& inner) {
+    for (int d = 0; d < 3; ++d) {
+      if (inner.center[d] - inner.half < outer.center[d] - outer.half) return false;
+      if (inner.center[d] + inner.half > outer.center[d] + outer.half) return false;
+    }
+    return true;
+  }
+
+  template <class RT>
+  void build(RT& rt) {
+    if (!built_) {
+      initial_build(rt);
+      rt.barrier();
+      if (rt.self() == 0) built_ = true;
+      rt.barrier();
+      return;
+    }
+    incremental_update(rt);
+  }
+
+  std::vector<NodePool>& pools() { return st_->storage.per_proc; }
+
+ private:
+  ProcAlloc make_alloc(int p) {
+    ProcAlloc a;
+    a.proc = p;
+    a.pool = &st_->storage.per_proc[static_cast<std::size_t>(p)];
+    a.created = &st_->tree.created[static_cast<std::size_t>(p)];
+    a.freelist = &freelists_[static_cast<std::size_t>(p)];
+    return a;
+  }
+
+  InsertEnv make_env() const {
+    return InsertEnv{&st_->cfg, st_->bodies.data(), st_, st_->tree.body_leaf.get(), true};
+  }
+
+  template <class RT>
+  void initial_build(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const auto pi = static_cast<std::size_t>(p);
+    const Cube rc = reduce_root_cube(rt, st);
+    st.tree.created[pi].clear();
+    freelists_[pi].clear();
+    rt.barrier();
+
+    ProcAlloc alloc = make_alloc(p);
+    Node* root = nullptr;
+    if (p == 0) {
+      for (auto& pool : st_->storage.per_proc) pool.reset();
+      root = alloc_node(rt, alloc);
+      root->init_leaf(rc, nullptr, 0, 0);
+      rt.write(root, 64);
+    }
+    if (p == 0) root_cube_ = rc;  // single writer; others see it past the barrier
+    root = publish_root(rt, st, rc, root);
+
+    const InsertEnv env = make_env();
+    for (std::int32_t bi : st.partition[pi]) {
+      rt.read(st.body_charge(bi), sizeof(Vec3));
+      shared_insert(rt, env, alloc, root, bi);
+    }
+  }
+
+  /// Reduce the global max alive level through the shared slots.
+  template <class RT>
+  int reduce_max_level(RT& rt) {
+    AppState& st = *st_;
+    const auto pi = static_cast<std::size_t>(rt.self());
+    std::int64_t local = 0;
+    for (const Node* n : st.tree.created[pi])
+      if (!n->dead && n->level > local) local = n->level;
+    st.tree.reduce[pi].value = local;
+    rt.write(&st.tree.reduce[pi].value, sizeof(std::int64_t));
+    rt.barrier();
+    std::int64_t gmax = 0;
+    for (int q = 0; q < rt.nprocs(); ++q) {
+      rt.read(&st.tree.reduce[static_cast<std::size_t>(q)].value, sizeof(std::int64_t));
+      gmax = std::max(gmax, st.tree.reduce[static_cast<std::size_t>(q)].value);
+    }
+    return static_cast<int>(gmax);
+  }
+
+  /// Bucket this processor's alive created nodes by level (host-side copy;
+  /// the shared-memory cost of touching the nodes is charged where they are
+  /// actually read/written).
+  std::vector<std::vector<Node*>> bucket_by_level(int p, int gmax) {
+    std::vector<std::vector<Node*>> buckets(static_cast<std::size_t>(gmax) + 1);
+    for (Node* n : st_->tree.created[static_cast<std::size_t>(p)])
+      if (!n->dead) buckets[n->level].push_back(n);
+    return buckets;
+  }
+
+  template <class RT>
+  void incremental_update(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const auto pi = static_cast<std::size_t>(p);
+    ProcAlloc alloc = make_alloc(p);
+    const InsertEnv env = make_env();
+
+    // (1) The recorded bounds persist across steps (paper: cells "record the
+    // space bounds they represented in the previous time step"). Only when
+    // the universe outgrows the recorded root cube do we grow it (with
+    // hysteresis, so this is rare) and re-derive every node's bounds from the
+    // invariant relative positions. A drifting root cube would otherwise
+    // shift every leaf's bounds each step and relocate nearly every body.
+    const Cube rc = reduce_root_cube(rt, st);
+    const bool refresh = !covers(root_cube_, rc);
+    rt.barrier();  // everyone sampled root_cube_ before processor 0 grows it
+    if (refresh) {
+      if (p == 0) {
+        Cube grown = rc;
+        grown.half *= 1.3;  // hysteresis: the next few growths are absorbed
+        root_cube_ = grown;
+        st.tree.root->cube = grown;
+        st.tree.root_cube = grown;
+        rt.write(st.tree.root, 48);
+        rt.write(&st.tree.root, sizeof(Node*) + sizeof(Cube));
+      }
+      const int gmax = reduce_max_level(rt);  // includes a barrier
+      auto buckets = bucket_by_level(p, gmax);
+      for (int lvl = 1; lvl <= gmax; ++lvl) {
+        for (Node* n : buckets[static_cast<std::size_t>(lvl)]) {
+          rt.read(&n->parent->cube, sizeof(Cube));
+          n->cube = n->parent->cube.child(n->octant);
+          rt.write(&n->cube, sizeof(Cube));
+          rt.compute(4.0);
+        }
+        rt.barrier();
+      }
+    }
+
+    // (2) Relocate bodies that crossed their leaf's (new) bounds.
+    for (std::int32_t bi : st.partition[pi]) {
+      const auto bidx = static_cast<std::size_t>(bi);
+      const Body& b = st.bodies[bidx];
+      rt.read(st.body_charge(bi), sizeof(Vec3));
+      Node* leaf = nullptr;
+      for (;;) {
+        leaf = rt.ordered_load(st.tree.body_leaf[bidx], &st.tree.body_leaf[bidx],
+                               sizeof(Node*));
+        const NodeKind kind = rt.ordered_load(leaf->kind, leaf, 48);
+        rt.compute(work::kTraversalStep);
+        if (kind == NodeKind::kLeaf && leaf->cube.contains(b.pos)) {
+          leaf = nullptr;  // still home: nothing to do
+          break;
+        }
+        const void* lk = st.node_lock(leaf);
+        rt.lock(lk);
+        if (leaf->is_cell(std::memory_order_relaxed)) {
+          // Subdivided under us: our body was relocated to a child; re-read.
+          rt.unlock(lk);
+          continue;
+        }
+        if (leaf->cube.contains(b.pos)) {  // re-check under the lock
+          rt.unlock(lk);
+          leaf = nullptr;
+          break;
+        }
+        remove_from_leaf(rt, leaf, bi);
+        rt.unlock(lk);
+        break;
+      }
+      if (leaf == nullptr) continue;
+
+      // Walk up to the first ancestor containing the new position (paper:
+      // "we compare it with its parent recursively until a cell in which it
+      // should belong in this time step has been found").
+      Node* anc = leaf->parent;
+      while (anc != nullptr) {
+        rt.read(anc, 48);
+        rt.compute(work::kTraversalStep);
+        if (anc->cube.contains(b.pos)) break;
+        anc = anc->parent;
+      }
+      if (anc == nullptr) anc = st.tree.root;  // safety net; root contains all
+      shared_insert(rt, env, alloc, anc, bi);
+    }
+    rt.barrier();
+
+    // (3) Reclaim empty leaves and childless cells, deepest level first,
+    // each by its creator (no locks needed once movement has stopped).
+    const int gmax2 = reduce_max_level(rt);  // includes a barrier
+    auto buckets2 = bucket_by_level(p, gmax2);
+    for (int lvl = gmax2; lvl >= 1; --lvl) {
+      if (lvl <= gmax2) {
+        for (Node* n : buckets2[static_cast<std::size_t>(lvl)]) {
+          if (n->dead) continue;  // already reclaimed this sweep
+          bool empty;
+          if (n->is_leaf()) {
+            rt.read(&n->nbodies, 8);
+            empty = n->nbodies == 0;
+          } else {
+            rt.read(&n->child[0], sizeof(Node*) * 8);
+            empty = true;
+            for (int o = 0; o < 8 && empty; ++o)
+              if (n->get_child(o, std::memory_order_relaxed) != nullptr) empty = false;
+          }
+          rt.compute(4.0);
+          if (!empty) continue;
+          n->parent->set_child(n->octant, nullptr);
+          rt.write(&n->parent->child[n->octant], sizeof(Node*));
+          free_node(alloc, n);
+        }
+      }
+      rt.barrier();
+    }
+  }
+
+  template <class RT>
+  void remove_from_leaf(RT& rt, Node* leaf, std::int32_t bi) {
+    int found = -1;
+    for (int i = 0; i < leaf->nbodies; ++i)
+      if (leaf->bodies[i] == bi) {
+        found = i;
+        break;
+      }
+    PTB_CHECK_MSG(found >= 0, "body missing from its recorded leaf");
+    leaf->bodies[found] = leaf->bodies[leaf->nbodies - 1];
+    --leaf->nbodies;
+    rt.write(&leaf->bodies[0], 16);
+    rt.compute(work::kInsertBody);
+  }
+
+  AppState* st_;
+  std::vector<std::vector<Node*>> freelists_;
+  bool built_ = false;
+  /// The recorded root bounds, persistent across steps; grown (rarely) with
+  /// hysteresis by processor 0 only.
+  Cube root_cube_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,88 @@
+// Page-aligned allocation utilities and the node pool.
+#include <gtest/gtest.h>
+
+#include "bh/pool.hpp"
+#include "support/aligned.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(Aligned, VectorStorageIsPageAligned) {
+  AlignedVec<int> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kRegionAlignment, 0u);
+  AlignedVec<double> w;
+  w.resize(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kRegionAlignment, 0u);
+}
+
+TEST(Aligned, ArrayIsPageAlignedAndValueInitialized) {
+  auto arr = make_aligned_array<int>(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.get()) % kRegionAlignment, 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(arr[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(Aligned, ArrayOfAtomicsStartsNull) {
+  auto arr = make_aligned_array<std::atomic<void*>>(64);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(arr[static_cast<std::size_t>(i)].load(), nullptr);
+}
+
+TEST(Aligned, AllocatorEqualityAndRebind) {
+  AlignedAlloc<int> a;
+  AlignedAlloc<double> b;
+  EXPECT_TRUE(a == AlignedAlloc<int>(b));
+  int* p = a.allocate(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kRegionAlignment, 0u);
+  a.deallocate(p, 10);
+}
+
+TEST(NodePool, TakeBumpAllocates) {
+  NodePool pool;
+  pool.init(16);
+  Node* a = pool.take();
+  Node* b = pool.take();
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(pool.used(), 2u);
+  EXPECT_EQ(pool.capacity(), 16u);
+}
+
+TEST(NodePool, ResetReusesStorage) {
+  NodePool pool;
+  pool.init(8);
+  Node* first = pool.take();
+  pool.take();
+  pool.reset();
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(pool.take(), first);
+}
+
+TEST(NodePool, CounterSupportsSharedFetchAdd) {
+  NodePool pool;
+  pool.init(8);
+  auto& ctr = pool.counter();
+  EXPECT_EQ(ctr.fetch_add(1), 0);
+  EXPECT_EQ(pool.at(0), pool.base());
+  EXPECT_EQ(pool.used(), 1u);
+}
+
+TEST(NodePool, MoveTransfersOwnership) {
+  NodePool a;
+  a.init(8);
+  Node* base = a.base();
+  a.take();
+  NodePool b = std::move(a);
+  EXPECT_EQ(b.base(), base);
+  EXPECT_EQ(b.used(), 1u);
+  EXPECT_EQ(a.capacity(), 0u);
+}
+
+TEST(NodePoolDeath, ExhaustionAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  NodePool pool;
+  pool.init(1);
+  pool.take();
+  EXPECT_DEATH(pool.take(), "node pool exhausted");
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,85 @@
+// End-to-end application runs on the simulated platforms: phase accounting,
+// warm-up exclusion, cross-platform cost ordering sanity.
+#include <gtest/gtest.h>
+
+#include "harness/app.hpp"
+#include "sim/sim_rt.hpp"
+#include "treebuild/local.hpp"
+#include "treebuild/orig.hpp"
+#include "treebuild/space.hpp"
+
+namespace ptb {
+namespace {
+
+template <class Builder>
+RunResult run_app(const std::string& platform, int n, int np, int warm = 1,
+                  int measured = 1) {
+  BHConfig cfg;
+  cfg.n = n;
+  AppState st = make_app_state(cfg, np);
+  SimContext ctx(PlatformSpec::by_name(platform), np);
+  Builder builder(st);
+  return run_simulation(ctx, st, builder, RunConfig{warm, measured});
+}
+
+TEST(App, PhasesAllAccounted) {
+  const RunResult r = run_app<LocalBuilder>("origin2000", 2000, 4);
+  EXPECT_GT(r.phase(Phase::kTreeBuild), 0.0);
+  EXPECT_GT(r.phase(Phase::kMoments), 0.0);
+  EXPECT_GT(r.phase(Phase::kPartition), 0.0);
+  EXPECT_GT(r.phase(Phase::kForces), 0.0);
+  EXPECT_GT(r.phase(Phase::kUpdate), 0.0);
+  EXPECT_GT(r.total_ns, 0.0);
+  // Forces dominate a Barnes-Hut step (paper: >97% sequentially).
+  EXPECT_GT(r.phase(Phase::kForces), 0.5 * r.total_ns);
+}
+
+TEST(App, WarmupExcludedFromTotals) {
+  const RunResult one = run_app<LocalBuilder>("origin2000", 1500, 4, 1, 1);
+  const RunResult three = run_app<LocalBuilder>("origin2000", 1500, 4, 3, 1);
+  // More warm-up steps must not inflate the measured totals (~equal steps).
+  EXPECT_LT(std::abs(one.total_ns - three.total_ns) / one.total_ns, 0.25);
+}
+
+TEST(App, MoreMeasuredStepsMoreTime) {
+  const RunResult one = run_app<LocalBuilder>("origin2000", 1500, 4, 1, 1);
+  const RunResult two = run_app<LocalBuilder>("origin2000", 1500, 4, 1, 2);
+  EXPECT_GT(two.total_ns, 1.5 * one.total_ns);
+}
+
+TEST(App, SvmTreeBuildShareExplodesForOrig) {
+  // The paper's core observation, end to end: on a page-based SVM platform
+  // the lock-heavy ORIG build dwarfs everything; SPACE stays modest.
+  const RunResult orig = run_app<OrigBuilder>("paragon", 2000, 8);
+  const RunResult space = run_app<SpaceBuilder>("paragon", 2000, 8);
+  EXPECT_GT(orig.treebuild_fraction(), 0.5);
+  EXPECT_LT(space.treebuild_fraction(), 0.35);
+  EXPECT_LT(space.total_ns, orig.total_ns / 2);
+}
+
+TEST(App, HardwareCoherentPlatformsTolerateOrig) {
+  const RunResult orig = run_app<OrigBuilder>("challenge", 2000, 8);
+  const RunResult space = run_app<SpaceBuilder>("challenge", 2000, 8);
+  // On the Challenge the algorithms are within ~25% of each other.
+  EXPECT_LT(orig.total_ns, 1.25 * space.total_ns);
+  EXPECT_LT(space.total_ns, 1.25 * orig.total_ns);
+}
+
+TEST(App, BarrierWaitTracked) {
+  const RunResult r = run_app<OrigBuilder>("origin2000", 2000, 8);
+  double wait = 0;
+  for (const auto& ps : r.proc_stats) wait += ps.barrier_wait_ns;
+  EXPECT_GT(wait, 0.0);
+}
+
+TEST(App, DeterministicEndToEnd) {
+  const RunResult a = run_app<OrigBuilder>("typhoon0_hlrc", 1200, 4);
+  const RunResult b = run_app<OrigBuilder>("typhoon0_hlrc", 1200, 4);
+  EXPECT_DOUBLE_EQ(a.total_ns, b.total_ns);
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    EXPECT_DOUBLE_EQ(a.phase_ns[static_cast<std::size_t>(ph)],
+                     b.phase_ns[static_cast<std::size_t>(ph)]);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,78 @@
+// Physics diagnostics and conservation laws over full simulations.
+#include <gtest/gtest.h>
+
+#include "bh/diagnostics.hpp"
+#include "bh/generate.hpp"
+#include "harness/app.hpp"
+#include "sim/sim_rt.hpp"
+#include "treebuild/space.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(Diagnostics, PlummerIsRoughlyVirialized) {
+  const Bodies b = make_plummer(4096, 7);
+  const EnergyReport e = total_energy(b, 0.05);
+  EXPECT_LT(e.potential, 0.0);
+  EXPECT_GT(e.kinetic, 0.0);
+  EXPECT_NEAR(e.virial_ratio(), 1.0, 0.35);
+  EXPECT_LT(e.total(), 0.0);  // bound system
+}
+
+TEST(Diagnostics, MomentumZeroAfterGeneration) {
+  const Bodies b = make_plummer(2048, 9);
+  EXPECT_NEAR(norm(total_momentum(b)), 0.0, 1e-10);
+  EXPECT_NEAR(norm(center_of_mass(b)), 0.0, 1e-10);
+}
+
+TEST(Diagnostics, TwoBodyEnergyByHand) {
+  Bodies b(2);
+  b[0].mass = 1.0;
+  b[1].mass = 2.0;
+  b[0].pos = Vec3{0, 0, 0};
+  b[1].pos = Vec3{3, 4, 0};  // distance 5
+  b[0].vel = Vec3{1, 0, 0};
+  const EnergyReport e = total_energy(b, 0.0);
+  EXPECT_DOUBLE_EQ(e.kinetic, 0.5);
+  EXPECT_DOUBLE_EQ(e.potential, -2.0 / 5.0);
+}
+
+TEST(Diagnostics, AngularMomentumByHand) {
+  Bodies b(1);
+  b[0].mass = 2.0;
+  b[0].pos = Vec3{1, 0, 0};
+  b[0].vel = Vec3{0, 3, 0};
+  const Vec3 l = total_angular_momentum(b);
+  EXPECT_DOUBLE_EQ(l.z, 6.0);
+  EXPECT_DOUBLE_EQ(l.x, 0.0);
+}
+
+TEST(Diagnostics, ConservationOverSimulation) {
+  BHConfig cfg;
+  cfg.n = 800;
+  cfg.theta = 0.5;
+  cfg.dt = 0.0125;
+  AppState st = make_app_state(cfg, 4);
+  const EnergyReport e0 = total_energy(st.bodies, cfg.eps);
+  const Vec3 p0 = total_momentum(st.bodies);
+  SimContext ctx(PlatformSpec::ideal(), 4);
+  register_common_regions(ctx, st);
+  SpaceBuilder builder(st);
+  builder.register_regions(ctx);
+  ctx.run([&](SimProc& rt) {
+    for (int s = 0; s < 10; ++s) timestep(rt, st, builder, true);
+  });
+  const EnergyReport e1 = total_energy(st.bodies, cfg.eps);
+  EXPECT_LT(relative_drift(e0.total(), e1.total()), 0.05);
+  // Momentum drift is bounded by the theta-approximation asymmetry.
+  EXPECT_LT(norm(total_momentum(st.bodies) - p0), 0.02);
+}
+
+TEST(Diagnostics, RelativeDriftBehaves) {
+  EXPECT_DOUBLE_EQ(relative_drift(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_drift(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_LT(relative_drift(0.0, 1e-15), 1.0);  // floor guards division
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,119 @@
+// Galaxy generators: determinism, physical sanity (mass, COM, virial-ish
+// velocity scale), and distribution shape differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bh/generate.hpp"
+
+namespace ptb {
+namespace {
+
+double total_mass(const Bodies& b) {
+  double m = 0;
+  for (const auto& x : b) m += x.mass;
+  return m;
+}
+
+Vec3 center_of_mass(const Bodies& b) {
+  Vec3 c{};
+  double m = 0;
+  for (const auto& x : b) {
+    c += x.mass * x.pos;
+    m += x.mass;
+  }
+  return (1.0 / m) * c;
+}
+
+TEST(Plummer, DeterministicInSeed) {
+  const Bodies a = make_plummer(512, 99);
+  const Bodies b = make_plummer(512, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_EQ(a[i].vel, b[i].vel);
+  }
+}
+
+TEST(Plummer, SeedChangesOutput) {
+  const Bodies a = make_plummer(128, 1);
+  const Bodies b = make_plummer(128, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    if (!(a[i].pos == b[i].pos)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Plummer, UnitMassAndCenteredCOM) {
+  const Bodies b = make_plummer(4096, 5);
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+  const Vec3 com = center_of_mass(b);
+  EXPECT_NEAR(norm(com), 0.0, 1e-10);
+}
+
+TEST(Plummer, MomentumIsZero) {
+  const Bodies b = make_plummer(4096, 5);
+  Vec3 p{};
+  for (const auto& x : b) p += x.mass * x.vel;
+  EXPECT_NEAR(norm(p), 0.0, 1e-10);
+}
+
+TEST(Plummer, CentrallyCondensed) {
+  // A Plummer sphere has half its mass within ~1.3 scale radii: verify the
+  // distribution is far more concentrated than uniform.
+  const Bodies b = make_plummer(8192, 7);
+  int inner = 0;
+  for (const auto& x : b)
+    if (norm(x.pos) < 1.0) ++inner;
+  EXPECT_GT(inner, static_cast<int>(b.size()) / 2);
+}
+
+TEST(Plummer, IdsAreStableIdentity) {
+  const Bodies b = make_plummer(100, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)].id, i);
+}
+
+TEST(UniformCube, InBounds) {
+  const Bodies b = make_uniform_cube(2048, 21);
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+  for (const auto& x : b) {
+    EXPECT_GE(x.pos.x, -0.5);
+    EXPECT_LT(x.pos.x, 0.5);
+    EXPECT_GE(x.pos.y, -0.5);
+    EXPECT_LT(x.pos.y, 0.5);
+  }
+}
+
+TEST(CollidingPair, TwoClustersApproach) {
+  const Bodies b = make_colliding_pair(2000, 31);
+  EXPECT_EQ(b.size(), 2000u);
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+  // First half is displaced negative-x and moving +x; second half opposite.
+  double mean_x1 = 0, mean_x2 = 0, mean_vx1 = 0, mean_vx2 = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    mean_x1 += b[i].pos.x;
+    mean_vx1 += b[i].vel.x;
+  }
+  for (std::size_t i = 1000; i < 2000; ++i) {
+    mean_x2 += b[i].pos.x;
+    mean_vx2 += b[i].vel.x;
+  }
+  EXPECT_LT(mean_x1 / 1000, -0.5);
+  EXPECT_GT(mean_x2 / 1000, 0.5);
+  EXPECT_GT(mean_vx1 / 1000, 0.1);
+  EXPECT_LT(mean_vx2 / 1000, -0.1);
+}
+
+TEST(CollidingPair, UniqueIds) {
+  const Bodies b = make_colliding_pair(501, 4);  // odd n exercises the split
+  std::vector<char> seen(b.size(), 0);
+  for (const auto& x : b) {
+    ASSERT_GE(x.id, 0);
+    ASSERT_LT(static_cast<std::size_t>(x.id), b.size());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(x.id)]);
+    seen[static_cast<std::size_t>(x.id)] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,119 @@
+// Home-based LRC home-page semantics: the home's copy is the page.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/hlrc_model.hpp"
+
+namespace ptb {
+namespace {
+
+class HlrcHomeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = PlatformSpec::typhoon0_hlrc();
+    spec_.cache_bytes = 0;  // isolate protocol costs from the local cache
+    model_ = std::make_unique<HlrcModel>(spec_, 4);
+    // Home is processor 2 for the whole region.
+    model_->register_region(buf_, sizeof(buf_), HomePolicy::kFixed, 2, "buf");
+  }
+
+  PlatformSpec spec_;
+  std::unique_ptr<HlrcModel> model_;
+  alignas(4096) char buf_[4096 * 2];
+};
+
+TEST_F(HlrcHomeTest, HomeNeverFaults) {
+  EXPECT_EQ(model_->on_read(2, buf_, 8, 0), 0u);
+  EXPECT_EQ(model_->proc_stats(2).page_faults, 0u);
+  // Even after another processor writes and releases, and the home acquires.
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_release(1, 0);
+  model_->on_acquire(2, 0);
+  EXPECT_EQ(model_->on_read(2, buf_, 8, 0), 0u);
+  EXPECT_EQ(model_->proc_stats(2).page_faults, 0u);
+}
+
+TEST_F(HlrcHomeTest, HomeWritesInPlaceNoTwin) {
+  EXPECT_EQ(model_->on_write(2, buf_, 8, 0), 0u);
+  EXPECT_EQ(model_->proc_stats(2).twins, 0u);
+}
+
+TEST_F(HlrcHomeTest, HomeReleasePostsNoticeNotDiff) {
+  model_->on_write(2, buf_, 8, 0);
+  const auto c = model_->on_release(2, 0);
+  EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.notice_ns));
+  EXPECT_EQ(model_->proc_stats(2).diffs, 0u);
+  EXPECT_EQ(model_->notice_log_size(), 1u);
+}
+
+TEST_F(HlrcHomeTest, HomeWriteInvalidatesRemoteCopiesLazily) {
+  model_->on_read(0, buf_, 8, 0);  // proc 0 caches the page (fault)
+  model_->on_write(2, buf_, 8, 0);
+  model_->on_release(2, 0);
+  EXPECT_EQ(model_->on_read(0, buf_, 8, 0), 0u);  // still lazy-valid
+  model_->on_acquire(0, 0);
+  EXPECT_EQ(model_->on_read(0, buf_, 8, 0),
+            static_cast<std::uint64_t>(spec_.page_fault_ns));
+}
+
+TEST_F(HlrcHomeTest, NonHomeStillPaysFull) {
+  const auto c = model_->on_write(3, buf_ + 4096, 8, 0);
+  EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.page_fault_ns + spec_.twin_ns));
+  EXPECT_EQ(model_->on_release(3, 0),
+            static_cast<std::uint64_t>(spec_.diff_per_page_ns));
+}
+
+TEST(HlrcStriped, PerProcPoolsAreCheapForOwners) {
+  // kProcStriped: each processor's slice of a region is homed on it.
+  PlatformSpec spec = PlatformSpec::typhoon0_hlrc();
+  spec.cache_bytes = 0;  // isolate protocol costs from the local cache
+  HlrcModel model(spec, 2);
+  alignas(4096) static char buf[4096 * 4];  // 2 pages per processor
+  model.register_region(buf, sizeof(buf), HomePolicy::kProcStriped, 0, "buf");
+  EXPECT_EQ(model.on_write(0, buf, 8, 0), 0u);               // own slice
+  EXPECT_EQ(model.on_write(1, buf + 4096 * 2, 8, 0), 0u);    // own slice
+  EXPECT_GT(model.on_write(1, buf, 8, 0), 0u);               // other's slice
+}
+
+}  // namespace
+}  // namespace ptb
+// ---------------------------------------------------------------------------
+// Local (non-protocol) cache layer: a VALID page's data still costs local
+// memory misses when cold in the node's own cache.
+// ---------------------------------------------------------------------------
+#include "support/aligned.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(HlrcLocalCache, ValidPagePaysLocalMissesOnce) {
+  PlatformSpec spec = PlatformSpec::typhoon0_hlrc();  // 1 MB local cache
+  HlrcModel model(spec, 2);
+  alignas(4096) static char buf[4096];
+  model.register_region(buf, sizeof(buf), HomePolicy::kFixed, 0, "buf");
+  // Home processor: no faults, but a cold local cache line costs a miss.
+  const auto first = model.on_read(0, buf, 8, 0);
+  EXPECT_EQ(first, static_cast<std::uint64_t>(spec.local_miss_ns));
+  EXPECT_EQ(model.on_read(0, buf, 8, 0), 0u);  // now cached locally
+  // A different line of the same (valid) page misses again.
+  EXPECT_EQ(model.on_read(0, buf + 512, 8, 0),
+            static_cast<std::uint64_t>(spec.local_miss_ns));
+}
+
+TEST(HlrcLocalCache, CapacityBoundedLikeTheRealCache) {
+  PlatformSpec spec = PlatformSpec::paragon();  // tiny i860 cache
+  HlrcModel model(spec, 1);
+  static AlignedVec<char> big(1 << 21);  // 2 MB >> 64 KB modeled cache
+  model.register_region(big.data(), big.size(), HomePolicy::kFixed, 0, "big");
+  // Stream through: every 64 B line misses.
+  std::uint64_t cost = 0;
+  for (std::size_t off = 0; off < big.size(); off += 64)
+    cost += model.on_read(0, big.data() + off, 8, 0);
+  EXPECT_GE(cost, static_cast<std::uint64_t>((big.size() / 64) * spec.local_miss_ns));
+  // Re-reading the start misses again (evicted).
+  EXPECT_GT(model.on_read(0, big.data(), 8, 0), 0u);
+}
+
+}  // namespace
+}  // namespace ptb

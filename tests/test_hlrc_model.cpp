@@ -1,0 +1,140 @@
+// Home-based Lazy Release Consistency model: twins/diffs/write notices,
+// lazy invalidation semantics, fault costs, RMW behaving like a sync op.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/hlrc_model.hpp"
+
+namespace ptb {
+namespace {
+
+class HlrcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = PlatformSpec::paragon();
+    spec_.cache_bytes = 0;  // isolate protocol costs from the local cache
+    model_ = std::make_unique<HlrcModel>(spec_, 4);
+    model_->register_region(buf_, sizeof(buf_), HomePolicy::kFixed, 0, "buf");
+  }
+
+  PlatformSpec spec_;
+  std::unique_ptr<HlrcModel> model_;
+  alignas(4096) char buf_[4096 * 4];
+};
+
+TEST_F(HlrcTest, ColdAccessFaultsOnce) {
+  const auto c1 = model_->on_read(1, buf_, 8, 0);
+  EXPECT_EQ(c1, static_cast<std::uint64_t>(spec_.page_fault_ns));
+  EXPECT_EQ(model_->on_read(1, buf_, 8, 0), 0u);
+  EXPECT_EQ(model_->proc_stats(1).page_faults, 1u);
+}
+
+TEST_F(HlrcTest, FirstWriteInIntervalCreatesTwin) {
+  model_->on_read(1, buf_, 8, 0);  // page now valid
+  const auto c = model_->on_write(1, buf_, 8, 0);
+  EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.twin_ns));
+  // Second write to the same page in the same interval: free.
+  EXPECT_EQ(model_->on_write(1, buf_ + 100, 8, 0), 0u);
+  EXPECT_EQ(model_->proc_stats(1).twins, 1u);
+}
+
+TEST_F(HlrcTest, ReleaseDiffsWrittenPages) {
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_write(1, buf_ + 4096, 8, 0);  // second page
+  const auto c = model_->on_release(1, 0);
+  EXPECT_EQ(c, static_cast<std::uint64_t>(2 * spec_.diff_per_page_ns));
+  EXPECT_EQ(model_->proc_stats(1).diffs, 2u);
+  EXPECT_EQ(model_->notice_log_size(), 2u);
+}
+
+TEST_F(HlrcTest, LazinessStaleCopyReadableUntilAcquire) {
+  // Proc 2 caches the page; proc 1 writes and releases; proc 2 can STILL
+  // read its stale copy for free until proc 2 itself synchronizes.
+  model_->on_read(2, buf_, 8, 0);
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_release(1, 0);
+  EXPECT_EQ(model_->on_read(2, buf_, 8, 0), 0u);  // lazy: no invalidation yet
+  model_->on_acquire(2, 0);                        // applies write notices
+  EXPECT_EQ(model_->on_read(2, buf_, 8, 0),
+            static_cast<std::uint64_t>(spec_.page_fault_ns));
+}
+
+TEST_F(HlrcTest, AcquireCostIncludesNotices) {
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_write(1, buf_ + 4096, 8, 0);
+  model_->on_release(1, 0);
+  const auto c = model_->on_acquire(2, 0);
+  EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.svm_lock_ns + 2 * spec_.notice_ns));
+  EXPECT_EQ(model_->proc_stats(2).notices_received, 2u);
+}
+
+TEST_F(HlrcTest, OwnNoticesAreSkipped) {
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_release(1, 0);
+  const auto c = model_->on_acquire(1, 0);  // own write notice: no invalidation
+  EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.svm_lock_ns));
+  EXPECT_EQ(model_->on_read(1, buf_, 8, 0), 0u);  // own copy stays valid
+}
+
+TEST_F(HlrcTest, BarrierFlushesAndInvalidates) {
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_read(2, buf_, 8, 0);
+  // Barrier: arrivals flush, departures apply notices.
+  const auto a1 = model_->on_barrier_arrive(1, 0);
+  EXPECT_EQ(a1, static_cast<std::uint64_t>(spec_.diff_per_page_ns));
+  EXPECT_EQ(model_->on_barrier_arrive(2, 0), 0u);
+  const auto d2 = model_->on_barrier_depart(2, 0);
+  EXPECT_GE(d2, static_cast<std::uint64_t>(spec_.svm_barrier_ns));
+  EXPECT_EQ(model_->on_read(2, buf_, 8, 0),
+            static_cast<std::uint64_t>(spec_.page_fault_ns));
+}
+
+TEST_F(HlrcTest, FalseSharingIsToleratedWithinInterval) {
+  // Multiple writers to the same page in concurrent intervals: both twin it,
+  // both diff it, nobody faults until they synchronize (multiple-writer).
+  model_->on_write(1, buf_, 8, 0);
+  model_->on_write(2, buf_ + 64, 8, 0);
+  EXPECT_EQ(model_->proc_stats(1).twins, 1u);
+  EXPECT_EQ(model_->proc_stats(2).twins, 1u);
+  model_->on_release(1, 0);
+  model_->on_release(2, 0);
+  EXPECT_EQ(model_->notice_log_size(), 2u);
+}
+
+TEST_F(HlrcTest, RmwIsAMiniSynchronization) {
+  const auto c = model_->on_rmw(1, buf_, 0);
+  // At least lock + fault + twin + diff: this is why ORIG's shared counter
+  // is poisonous on SVM.
+  EXPECT_GE(c, static_cast<std::uint64_t>(spec_.svm_lock_ns + spec_.page_fault_ns +
+                                          spec_.twin_ns + spec_.diff_per_page_ns));
+  // Another processor acquiring sees the counter page invalid.
+  model_->on_acquire(2, 0);
+  EXPECT_EQ(model_->on_read(2, buf_, 8, 0),
+            static_cast<std::uint64_t>(spec_.page_fault_ns));
+}
+
+TEST_F(HlrcTest, PageStateHook) {
+  auto s = model_->page_state(buf_, 1);
+  EXPECT_TRUE(s.shared_region);
+  EXPECT_FALSE(s.valid_for_proc);
+  model_->on_read(1, buf_, 8, 0);
+  s = model_->page_state(buf_, 1);
+  EXPECT_TRUE(s.valid_for_proc);
+  EXPECT_EQ(s.home, 0);
+}
+
+TEST_F(HlrcTest, PrivateMemoryFree) {
+  int x = 0;
+  EXPECT_EQ(model_->on_read(0, &x, 4, 0), 0u);
+  EXPECT_EQ(model_->on_write(0, &x, 4, 0), 0u);
+}
+
+TEST_F(HlrcTest, CrossPageWriteTouchesBothPages) {
+  const auto c = model_->on_write(1, buf_ + 4090, 12, 0);  // straddles pages
+  EXPECT_EQ(c, static_cast<std::uint64_t>(2 * (spec_.page_fault_ns + spec_.twin_ns)));
+  EXPECT_EQ(model_->proc_stats(1).twins, 2u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,75 @@
+// The body-migration shadow arena (paper §2.2: bodies physically move
+// between per-processor arrays on reassignment).
+#include <gtest/gtest.h>
+
+#include "harness/app.hpp"
+#include "sim/sim_rt.hpp"
+#include "treebuild/local.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(Migration, InitialSlotsAreOwnerContiguous) {
+  BHConfig cfg;
+  cfg.n = 1000;
+  AppState st = make_app_state(cfg, 4);
+  const std::int32_t chunk = st.arena_chunk();
+  for (int bi = 0; bi < cfg.n; ++bi) {
+    const int owner = st.bodies[static_cast<std::size_t>(bi)].proc;
+    const std::int32_t slot = st.body_slot[static_cast<std::size_t>(bi)];
+    EXPECT_GE(slot, owner * chunk);
+    EXPECT_LT(slot, (owner + 1) * chunk);
+  }
+}
+
+TEST(Migration, ChargeAddressesLieInArena) {
+  BHConfig cfg;
+  cfg.n = 500;
+  AppState st = make_app_state(cfg, 4);
+  for (int bi = 0; bi < cfg.n; ++bi) {
+    const Body* addr = st.body_charge(bi);
+    EXPECT_GE(addr, st.body_arena.data());
+    EXPECT_LT(addr, st.body_arena.data() + st.body_arena.size());
+  }
+}
+
+TEST(Migration, CostzonesReassignmentMovesSlots) {
+  BHConfig cfg;
+  cfg.n = 2000;
+  AppState st = make_app_state(cfg, 8);
+  SimContext ctx(PlatformSpec::ideal(), 8);
+  register_common_regions(ctx, st);
+  LocalBuilder builder(st);
+  builder.register_regions(ctx);
+  ctx.run([&](SimProc& rt) { timestep(rt, st, builder, true); });
+  const std::int32_t chunk = st.arena_chunk();
+  int migrated = 0;
+  for (int bi = 0; bi < cfg.n; ++bi) {
+    const int owner = st.bodies[static_cast<std::size_t>(bi)].proc;
+    const std::int32_t slot = st.body_slot[static_cast<std::size_t>(bi)];
+    // Every body's slot lies in its (new) owner's chunk.
+    ASSERT_GE(slot, owner * chunk);
+    ASSERT_LT(slot, (owner + 1) * chunk);
+    if (owner != bi % 8) ++migrated;  // initial assignment was round-robin
+  }
+  // Costzones is spatial: the vast majority of bodies changed owner.
+  EXPECT_GT(migrated, cfg.n / 2);
+}
+
+TEST(Migration, OwnBodyAccessesAreHomeLocalOnSvm) {
+  // After a settle step, a processor's integrate-phase traffic hits its own
+  // arena chunk: on HLRC those are home pages, so the update phase must be
+  // (nearly) free of faults/twins.
+  BHConfig cfg;
+  cfg.n = 2000;
+  AppState st = make_app_state(cfg, 8);
+  SimContext ctx(PlatformSpec::typhoon0_hlrc(), 8);
+  LocalBuilder builder(st);
+  // run_simulation registers the regions itself.
+  RunResult res = run_simulation(ctx, st, builder, RunConfig{1, 1});
+  // Update phase: pure local compute, orders of magnitude below forces.
+  EXPECT_LT(res.phase(Phase::kUpdate), res.phase(Phase::kForces) / 20.0);
+}
+
+}  // namespace
+}  // namespace ptb

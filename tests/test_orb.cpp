@@ -1,0 +1,104 @@
+// ORB partitioning: completeness, balance, spatial structure, determinism,
+// and end-to-end physics equivalence with costzones.
+#include <gtest/gtest.h>
+
+#include "harness/app.hpp"
+#include "sim/sim_rt.hpp"
+#include "support/stats.hpp"
+#include "treebuild/local.hpp"
+
+namespace ptb {
+namespace {
+
+AppState run_steps(Partitioner part, int n, int np, int steps) {
+  BHConfig cfg;
+  cfg.n = n;
+  cfg.partitioner = part;
+  AppState st = make_app_state(cfg, np);
+  SimContext ctx(PlatformSpec::ideal(), np);
+  register_common_regions(ctx, st);
+  LocalBuilder builder(st);
+  builder.register_regions(ctx);
+  ctx.run([&](SimProc& rt) {
+    for (int s = 0; s < steps; ++s) timestep(rt, st, builder, true);
+  });
+  return st;
+}
+
+TEST(Orb, EveryBodyAssignedExactlyOnce) {
+  AppState st = run_steps(Partitioner::kOrb, 3000, 8, 1);
+  std::vector<int> owners(3000, 0);
+  for (int p = 0; p < 8; ++p)
+    for (std::int32_t bi : st.partition[static_cast<std::size_t>(p)]) {
+      ++owners[static_cast<std::size_t>(bi)];
+      EXPECT_EQ(st.bodies[static_cast<std::size_t>(bi)].proc, p);
+    }
+  for (int c : owners) ASSERT_EQ(c, 1);
+}
+
+TEST(Orb, BalancesCost) {
+  AppState st = run_steps(Partitioner::kOrb, 4000, 8, 2);  // step 2 uses real costs
+  std::vector<double> zone_cost(8, 0.0);
+  for (int p = 0; p < 8; ++p)
+    for (std::int32_t bi : st.partition[static_cast<std::size_t>(p)])
+      zone_cost[static_cast<std::size_t>(p)] +=
+          std::max(1.0, st.bodies[static_cast<std::size_t>(bi)].cost);
+  EXPECT_LT(imbalance_factor(zone_cost), 1.25);
+}
+
+TEST(Orb, BoxesAreSpatiallyDisjointish) {
+  // ORB produces axis-aligned boxes: per-zone bounding boxes should overlap
+  // far less than random assignment (we check total box volume against the
+  // global bounding volume).
+  AppState st = run_steps(Partitioner::kOrb, 4000, 8, 1);
+  double total_vol = 0.0;
+  Vec3 glo{1e300, 1e300, 1e300}, ghi{-1e300, -1e300, -1e300};
+  for (int p = 0; p < 8; ++p) {
+    Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+    for (std::int32_t bi : st.partition[static_cast<std::size_t>(p)]) {
+      const Vec3& q = st.bodies[static_cast<std::size_t>(bi)].pos;
+      for (int d = 0; d < 3; ++d) {
+        lo[d] = std::min(lo[d], q[d]);
+        hi[d] = std::max(hi[d], q[d]);
+        glo[d] = std::min(glo[d], q[d]);
+        ghi[d] = std::max(ghi[d], q[d]);
+      }
+    }
+    total_vol += (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  }
+  const double global_vol = (ghi.x - glo.x) * (ghi.y - glo.y) * (ghi.z - glo.z);
+  // Disjoint boxes would sum to <= global volume; allow some slack for
+  // cost-weighted split boundaries.
+  EXPECT_LT(total_vol, 1.5 * global_vol);
+}
+
+TEST(Orb, DeterministicAssignments) {
+  AppState a = run_steps(Partitioner::kOrb, 2000, 8, 2);
+  AppState b = run_steps(Partitioner::kOrb, 2000, 8, 2);
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_EQ(a.bodies[static_cast<std::size_t>(i)].proc,
+              b.bodies[static_cast<std::size_t>(i)].proc);
+}
+
+TEST(Orb, PhysicsMatchesCostzones) {
+  // The partitioner only decides WHO computes a body; the trajectory must be
+  // identical up to floating-point reassociation in leaf sums.
+  AppState a = run_steps(Partitioner::kCostzones, 1500, 4, 3);
+  AppState b = run_steps(Partitioner::kOrb, 1500, 4, 3);
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_LT(norm(a.bodies[static_cast<std::size_t>(i)].pos -
+                   b.bodies[static_cast<std::size_t>(i)].pos),
+              1e-9);
+  }
+}
+
+TEST(Orb, HandlesFewerBodiesThanProcessors) {
+  AppState st = run_steps(Partitioner::kOrb, 5, 8, 1);
+  int assigned = 0;
+  for (int p = 0; p < 8; ++p)
+    assigned += static_cast<int>(st.partition[static_cast<std::size_t>(p)].size());
+  EXPECT_EQ(assigned, 5);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,109 @@
+// Region table: address resolution, home policies, block ranges.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/region_table.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(RegionTable, UnregisteredIsPrivate) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  int x = 0;
+  EXPECT_FALSE(t.resolve(&x, 4).shared);
+}
+
+TEST(RegionTable, ResolveInsideRegion) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  std::vector<char> buf(1024);
+  t.add(buf.data(), buf.size(), HomePolicy::kFixed, 2, "buf", 4);
+  const BlockRef r = t.resolve(buf.data() + 100, 4);
+  EXPECT_TRUE(r.shared);
+  EXPECT_EQ(r.home, 2);
+  EXPECT_FALSE(t.resolve(buf.data() + 2000, 4).shared);
+}
+
+TEST(RegionTable, BlockIndicesFollowAddressGrid) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  std::vector<char> buf(640);
+  t.add(buf.data(), buf.size(), HomePolicy::kFixed, 0, "buf", 4);
+  const auto a = t.resolve(buf.data(), 4);
+  const auto b = t.resolve(buf.data() + 63, 4);    // may or may not share a block
+  const auto c = t.resolve(buf.data() + 256, 4);
+  EXPECT_TRUE(a.shared && b.shared && c.shared);
+  EXPECT_GE(c.block, a.block + 3);  // 256 bytes ahead = at least 4 blocks - 1
+  EXPECT_LE(b.block - a.block, 1u);
+}
+
+TEST(RegionTable, InterleavedHomesCycle) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  // Align the buffer so block boundaries are predictable.
+  alignas(64) static char buf[64 * 8];
+  t.add(buf, sizeof(buf), HomePolicy::kInterleavedBlock, 0, "buf", 4);
+  std::vector<int> homes;
+  for (int i = 0; i < 8; ++i) homes.push_back(t.resolve(buf + i * 64, 4).home);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(homes[static_cast<std::size_t>(i)], i % 4);
+}
+
+TEST(RegionTable, ProcStripedSplitsEvenly) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 8];
+  t.add(buf, sizeof(buf), HomePolicy::kProcStriped, 0, "buf", 4);
+  EXPECT_EQ(t.resolve(buf + 0, 4).home, 0);
+  EXPECT_EQ(t.resolve(buf + 64 * 2, 4).home, 1);
+  EXPECT_EQ(t.resolve(buf + 64 * 7, 4).home, 3);
+}
+
+TEST(RegionTable, ResolveRangeSpansBlocks) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 4];
+  t.add(buf, sizeof(buf), HomePolicy::kFixed, 1, "buf", 2);
+  std::size_t first, last;
+  int home;
+  ASSERT_TRUE(t.resolve_range(buf + 60, 10, 2, first, last, home));
+  EXPECT_EQ(last, first + 1);  // crosses one boundary
+  EXPECT_EQ(home, 1);
+  ASSERT_TRUE(t.resolve_range(buf + 0, 1, 2, first, last, home));
+  EXPECT_EQ(last, first);
+}
+
+TEST(RegionTable, RangeClampsAtRegionEnd) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[128];
+  t.add(buf, sizeof(buf), HomePolicy::kFixed, 0, "buf", 2);
+  std::size_t first, last;
+  int home;
+  ASSERT_TRUE(t.resolve_range(buf + 100, 4096, 2, first, last, home));
+  EXPECT_EQ(last, first);  // clamped to the last block of the region
+}
+
+TEST(RegionTable, MultipleRegionsSorted) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  std::vector<char> a(256), b(256);
+  t.add(a.data(), a.size(), HomePolicy::kFixed, 0, "a", 2);
+  t.add(b.data(), b.size(), HomePolicy::kFixed, 1, "b", 2);
+  EXPECT_EQ(t.resolve(a.data() + 10, 2).home, 0);
+  EXPECT_EQ(t.resolve(b.data() + 10, 2).home, 1);
+  EXPECT_GE(t.total_blocks(), 8u);
+}
+
+TEST(RegionTable, BlockHomeReverseLookup) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 6];
+  t.add(buf, sizeof(buf), HomePolicy::kInterleavedBlock, 0, "buf", 3);
+  const auto r = t.resolve(buf + 64 * 4, 3);
+  EXPECT_EQ(t.block_home(r.block, 3), r.home);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,175 @@
+// Sequential reference octree: structural invariants, moments correctness,
+// canonical serialization properties.
+#include <gtest/gtest.h>
+
+#include "bh/generate.hpp"
+#include "bh/seqtree.hpp"
+#include "bh/verify.hpp"
+
+namespace ptb {
+namespace {
+
+struct SeqTreeCase {
+  int n;
+  int leaf_cap;
+  std::uint64_t seed;
+};
+
+class SeqTreeP : public ::testing::TestWithParam<SeqTreeCase> {};
+
+TEST_P(SeqTreeP, InvariantsHold) {
+  const auto [n, leaf_cap, seed] = GetParam();
+  BHConfig cfg;
+  cfg.n = n;
+  cfg.leaf_cap = leaf_cap;
+  const Bodies bodies = make_plummer(n, seed);
+  NodePool pool;
+  pool.init(static_cast<std::size_t>(n) * 2 + 1024);
+  Node* root = SeqTree::build(bodies, cfg, pool);
+  SeqTree::compute_moments(root, bodies);
+  const TreeCheckResult res = check_tree(root, bodies, cfg, /*check_moments=*/true);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.body_count, n);
+  EXPECT_GT(res.leaf_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SeqTreeP,
+                         ::testing::Values(SeqTreeCase{64, 1, 3}, SeqTreeCase{64, 8, 3},
+                                           SeqTreeCase{1000, 4, 5},
+                                           SeqTreeCase{4096, 8, 7},
+                                           SeqTreeCase{4096, 16, 7},
+                                           SeqTreeCase{10000, 8, 11}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_k" +
+                                  std::to_string(info.param.leaf_cap) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(SeqTree, SingleBodyIsRootLeaf) {
+  BHConfig cfg;
+  cfg.n = 1;
+  Bodies bodies(1);
+  bodies[0].pos = Vec3{0.1, 0.2, 0.3};
+  bodies[0].mass = 1.0;
+  NodePool pool;
+  pool.init(16);
+  Node* root = SeqTree::build(bodies, cfg, pool);
+  EXPECT_TRUE(root->is_leaf());
+  EXPECT_EQ(root->nbodies, 1);
+}
+
+TEST(SeqTree, MassConservedInMoments) {
+  BHConfig cfg;
+  cfg.n = 2048;
+  const Bodies bodies = make_plummer(cfg.n, 17);
+  NodePool pool;
+  pool.init(8192);
+  Node* root = SeqTree::build(bodies, cfg, pool);
+  SeqTree::compute_moments(root, bodies);
+  EXPECT_NEAR(root->mass, 1.0, 1e-12);
+  // Root COM equals global COM (zeroed by the generator).
+  EXPECT_NEAR(norm(root->com), 0.0, 1e-9);
+}
+
+TEST(SeqTree, CostRollupCountsBodies) {
+  // With all body costs at the default 1.0, root->cost == n.
+  BHConfig cfg;
+  cfg.n = 777;
+  const Bodies bodies = make_plummer(cfg.n, 19);
+  NodePool pool;
+  pool.init(4096);
+  Node* root = SeqTree::build(bodies, cfg, pool);
+  SeqTree::compute_moments(root, bodies);
+  EXPECT_NEAR(root->cost, 777.0, 1e-9);
+}
+
+TEST(SeqTree, DepthGrowsWithSmallerLeafCap) {
+  const Bodies bodies = make_plummer(4096, 23);
+  BHConfig a;
+  a.n = 4096;
+  a.leaf_cap = 16;
+  BHConfig b = a;
+  b.leaf_cap = 1;
+  NodePool pa, pb;
+  pa.init(32768);
+  pb.init(65536);
+  const auto ra = check_tree(SeqTree::build(bodies, a, pa), bodies, a);
+  const auto rb = check_tree(SeqTree::build(bodies, b, pb), bodies, b);
+  ASSERT_TRUE(ra.ok) << ra.error;
+  ASSERT_TRUE(rb.ok) << rb.error;
+  EXPECT_GT(rb.max_depth, ra.max_depth);
+  EXPECT_GT(rb.node_count, ra.node_count);
+}
+
+TEST(Canonical, IdenticalTreesHashEqual) {
+  const Bodies bodies = make_plummer(1024, 29);
+  BHConfig cfg;
+  cfg.n = 1024;
+  NodePool p1, p2;
+  p1.init(8192);
+  p2.init(8192);
+  Node* r1 = SeqTree::build(bodies, cfg, p1);
+  Node* r2 = SeqTree::build(bodies, cfg, p2);
+  EXPECT_EQ(canonical_hash(r1, bodies), canonical_hash(r2, bodies));
+  EXPECT_EQ(canonical_serialization(r1, bodies), canonical_serialization(r2, bodies));
+}
+
+TEST(Canonical, InsertionOrderIrrelevant) {
+  // Build with bodies in reverse order: same octree, same hash.
+  Bodies bodies = make_plummer(1024, 31);
+  BHConfig cfg;
+  cfg.n = 1024;
+  NodePool p1;
+  p1.init(8192);
+  Node* r1 = SeqTree::build(bodies, cfg, p1);
+  const auto h1 = canonical_hash(r1, bodies);
+
+  Bodies reversed(bodies.rbegin(), bodies.rend());
+  NodePool p2;
+  p2.init(8192);
+  Node* r2 = SeqTree::build(reversed, cfg, p2);
+  EXPECT_EQ(h1, canonical_hash(r2, reversed));
+}
+
+TEST(Canonical, DifferentLeafCapDiffers) {
+  const Bodies bodies = make_plummer(1024, 37);
+  BHConfig a;
+  a.n = 1024;
+  a.leaf_cap = 8;
+  BHConfig b = a;
+  b.leaf_cap = 2;
+  NodePool p1, p2;
+  p1.init(8192);
+  p2.init(16384);
+  EXPECT_NE(canonical_hash(SeqTree::build(bodies, a, p1), bodies),
+            canonical_hash(SeqTree::build(bodies, b, p2), bodies));
+}
+
+TEST(CheckTree, DetectsBodyOutsideLeaf) {
+  Bodies bodies = make_plummer(256, 41);
+  BHConfig cfg;
+  cfg.n = 256;
+  NodePool pool;
+  pool.init(2048);
+  Node* root = SeqTree::build(bodies, cfg, pool);
+  ASSERT_TRUE(check_tree(root, bodies, cfg).ok);
+  // Teleport a body without updating the tree: the checker must object.
+  bodies[0].pos = Vec3{1e6, 1e6, 1e6};
+  EXPECT_FALSE(check_tree(root, bodies, cfg).ok);
+}
+
+TEST(CheckTree, DetectsOverfullLeaf) {
+  Bodies bodies = make_plummer(64, 43);
+  BHConfig cfg;
+  cfg.n = 64;
+  cfg.leaf_cap = 8;
+  NodePool pool;
+  pool.init(1024);
+  Node* root = SeqTree::build(bodies, cfg, pool);
+  ASSERT_TRUE(check_tree(root, bodies, cfg).ok);
+  cfg.leaf_cap = 1;  // judge the same tree by a stricter rule
+  EXPECT_FALSE(check_tree(root, bodies, cfg).ok);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,142 @@
+// Unit tests for the support utilities: RNG determinism and distribution
+// sanity, statistics accumulators, histogram, table printer, CLI parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform(-1.0, 1.0));
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 3.0), 0.02);
+}
+
+TEST(Rng, NextBelowIsBounded) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(17);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[r.next_below(8)];
+  for (int c : seen) EXPECT_GT(c, 800);  // each bucket near 1000
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(r.next_normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);  // clamps to first
+  h.add(42.0);  // clamps to last
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(9), 10.0);
+}
+
+TEST(ImbalanceFactor, Balanced) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(ImbalanceFactor, Skewed) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({1.0, 1.0, 4.0}), 2.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t("demo");
+  t.set_header({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  // Header divider present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--flag"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0, ""), 3);
+  EXPECT_EQ(cli.get_int("beta", 0, ""), 7);
+  EXPECT_TRUE(cli.get_bool("flag", false, ""));
+  EXPECT_EQ(cli.get_string("gamma", "dflt", ""), "dflt");
+  cli.finish();
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--sizes=1,2,30"};
+  Cli cli(2, const_cast<char**>(argv));
+  const auto v = cli.get_int_list("sizes", "", "");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 30);
+  cli.finish();
+}
+
+}  // namespace
+}  // namespace ptb

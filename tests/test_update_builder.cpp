@@ -1,0 +1,152 @@
+// UPDATE-specific semantics: incremental maintenance across time-steps,
+// reclamation, stability under zero motion, lock-count advantage.
+#include <gtest/gtest.h>
+
+#include "bh/verify.hpp"
+#include "harness/app.hpp"
+#include "sim/sim_rt.hpp"
+#include "treebuild/local.hpp"
+#include "treebuild/update.hpp"
+
+namespace ptb {
+namespace {
+
+/// Runs `steps` full time-steps and then one more build, so the final tree is
+/// fresh w.r.t. the final body positions and can be checked strictly. The
+/// FIRST step (UPDATE's initial full build) is attributed to kOther so
+/// lock counts reflect steady-state behaviour.
+template <class Builder>
+AppState run_steps_then_build(const BHConfig& cfg, int np, int steps,
+                              std::uint64_t* locks_out = nullptr) {
+  AppState st = make_app_state(cfg, np);
+  SimContext ctx(PlatformSpec::ideal(), np);
+  register_common_regions(ctx, st);
+  Builder builder(st);
+  builder.register_regions(ctx);
+  ctx.run([&](SimProc& rt) {
+    for (int s = 0; s < steps; ++s) timestep(rt, st, builder, /*measured=*/s > 0);
+    rt.begin_phase(Phase::kTreeBuild);
+    builder.build(rt);
+    rt.barrier();
+    rt.begin_phase(Phase::kOther);
+  });
+  if (locks_out != nullptr) {
+    *locks_out = 0;
+    for (const auto& ps : ctx.stats())
+      *locks_out += ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)];
+  }
+  return st;
+}
+
+TEST(UpdateBuilder, TreeValidAfterSeveralSteps) {
+  BHConfig cfg;
+  cfg.n = 2000;
+  cfg.dt = 0.05;  // meaningful motion
+  AppState st = run_steps_then_build<UpdateBuilder>(cfg, 4, 4);
+  const TreeCheckResult res = check_tree(st.tree.root, st.bodies, st.cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.body_count, cfg.n);
+  // The body->leaf map stayed coherent through relocations.
+  for (int bi = 0; bi < cfg.n; ++bi) {
+    const Node* leaf = st.tree.leaf_of(bi);
+    ASSERT_NE(leaf, nullptr);
+    ASSERT_TRUE(leaf->is_leaf(std::memory_order_relaxed));
+    EXPECT_TRUE(leaf->cube.contains(st.bodies[static_cast<std::size_t>(bi)].pos));
+  }
+}
+
+TEST(UpdateBuilder, NoMotionMeansNoRestructuring) {
+  // With dt = 0 bodies never move, so after the initial build every later
+  // "update" must leave the tree bit-identical (pure-maintenance fixpoint).
+  BHConfig cfg;
+  cfg.n = 1500;
+  cfg.dt = 0.0;
+  AppState st = make_app_state(cfg, 4);
+  SimContext ctx(PlatformSpec::ideal(), 4);
+  register_common_regions(ctx, st);
+  UpdateBuilder builder(st);
+  builder.register_regions(ctx);
+  std::uint64_t h1 = 0, h2 = 0;
+  ctx.run([&](SimProc& rt) {
+    timestep(rt, st, builder, true);
+    rt.barrier();
+    if (rt.self() == 0) h1 = canonical_hash(st.tree.root, st.bodies);
+    rt.barrier();
+    timestep(rt, st, builder, true);
+    timestep(rt, st, builder, true);
+    rt.barrier();
+    if (rt.self() == 0) h2 = canonical_hash(st.tree.root, st.bodies);
+    rt.barrier();
+  });
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(UpdateBuilder, ReclaimsEmptiedLeaves) {
+  // Force heavy motion with the colliding-pair workload and check no dead
+  // node stays reachable and counts balance.
+  BHConfig cfg;
+  cfg.n = 1000;
+  cfg.dt = 0.2;  // violent steps => many relocations
+  AppState st;
+  st.cfg = cfg;
+  st.init(make_colliding_pair(cfg.n, 3), 4);
+  st.cfg = cfg;
+  SimContext ctx(PlatformSpec::ideal(), 4);
+  register_common_regions(ctx, st);
+  UpdateBuilder builder(st);
+  builder.register_regions(ctx);
+  ctx.run([&](SimProc& rt) {
+    for (int s = 0; s < 5; ++s) timestep(rt, st, builder, true);
+    rt.begin_phase(Phase::kTreeBuild);
+    builder.build(rt);
+    rt.barrier();
+    rt.begin_phase(Phase::kOther);
+  });
+  const TreeCheckResult res = check_tree(st.tree.root, st.bodies, st.cfg);
+  ASSERT_TRUE(res.ok) << res.error;  // checker rejects reachable dead nodes
+  EXPECT_EQ(res.body_count, cfg.n);
+}
+
+TEST(UpdateBuilder, FewerLocksThanFullRebuildWhenMotionIsSlow) {
+  BHConfig cfg;
+  cfg.n = 3000;
+  cfg.dt = 0.002;  // slow evolution: few movers per step
+  std::uint64_t update_locks = 0, local_locks = 0;
+  run_steps_then_build<UpdateBuilder>(cfg, 4, 3, &update_locks);
+  run_steps_then_build<LocalBuilder>(cfg, 4, 3, &local_locks);
+  // The final build-only pass: UPDATE relocates a handful of bodies while
+  // LOCAL re-inserts all 3000.
+  EXPECT_LT(update_locks * 5, local_locks);
+}
+
+TEST(UpdateBuilder, PhysicsStaysCloseToRebuild) {
+  // UPDATE's tree can differ in shape from a full rebuild (no collapsing),
+  // which perturbs forces only within the theta-approximation error. After a
+  // few steps the two trajectories must still agree to ~1e-3 RMS.
+  BHConfig cfg;
+  cfg.n = 1000;
+  cfg.dt = 0.0125;
+  AppState a = make_app_state(cfg, 4);
+  AppState b = make_app_state(cfg, 4);
+  auto run = [&](AppState& st, auto&& mk) {
+    SimContext ctx(PlatformSpec::ideal(), 4);
+    register_common_regions(ctx, st);
+    auto builder = mk(st);
+    builder.register_regions(ctx);
+    ctx.run([&](SimProc& rt) {
+      for (int s = 0; s < 4; ++s) timestep(rt, st, builder, true);
+    });
+  };
+  run(a, [](AppState& st) { return UpdateBuilder(st); });
+  run(b, [](AppState& st) { return LocalBuilder(st); });
+  double rms = 0.0;
+  for (int i = 0; i < cfg.n; ++i) {
+    rms += norm2(a.bodies[static_cast<std::size_t>(i)].pos -
+                 b.bodies[static_cast<std::size_t>(i)].pos);
+  }
+  rms = std::sqrt(rms / cfg.n);
+  EXPECT_LT(rms, 2e-3);
+}
+
+}  // namespace
+}  // namespace ptb

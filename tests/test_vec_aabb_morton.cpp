@@ -1,0 +1,120 @@
+// Geometry primitives: Vec3 algebra, cubes/octants, Morton keys.
+#include <gtest/gtest.h>
+
+#include "bh/aabb.hpp"
+#include "bh/morton.hpp"
+#include "bh/vec3.hpp"
+#include "support/rng.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(Vec3, Algebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 14.0);
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v[1] = 9.0;
+  EXPECT_DOUBLE_EQ(v.y, 9.0);
+}
+
+TEST(Cube, ContainsIsHalfOpen) {
+  const Cube c{Vec3{0, 0, 0}, 1.0};
+  EXPECT_TRUE(c.contains(Vec3{0, 0, 0}));
+  EXPECT_TRUE(c.contains(Vec3{-1, -1, -1}));  // low edge included
+  EXPECT_FALSE(c.contains(Vec3{1, 0, 0}));    // high edge excluded
+  EXPECT_FALSE(c.contains(Vec3{2, 0, 0}));
+}
+
+TEST(Cube, OctantIndexing) {
+  const Cube c{Vec3{0, 0, 0}, 1.0};
+  EXPECT_EQ(c.octant_of(Vec3{-0.5, -0.5, -0.5}), 0);
+  EXPECT_EQ(c.octant_of(Vec3{0.5, -0.5, -0.5}), 1);
+  EXPECT_EQ(c.octant_of(Vec3{-0.5, 0.5, -0.5}), 2);
+  EXPECT_EQ(c.octant_of(Vec3{-0.5, -0.5, 0.5}), 4);
+  EXPECT_EQ(c.octant_of(Vec3{0.5, 0.5, 0.5}), 7);
+}
+
+TEST(Cube, ChildGeometryRoundTrip) {
+  const Cube c{Vec3{1, 2, 3}, 4.0};
+  for (int o = 0; o < 8; ++o) {
+    const Cube ch = c.child(o);
+    EXPECT_DOUBLE_EQ(ch.half, 2.0);
+    // The child's center lies in octant o of the parent.
+    EXPECT_EQ(c.octant_of(ch.center), o);
+    // Points in the child are in the parent.
+    EXPECT_TRUE(c.contains(ch.center));
+  }
+}
+
+TEST(Cube, PointLandsInItsOctantChild) {
+  Rng rng(5);
+  const Cube c{Vec3{0, 0, 0}, 2.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const int o = c.octant_of(p);
+    EXPECT_TRUE(c.child(o).contains(p));
+  }
+}
+
+TEST(BoundingCube, EnclosesAllStrictly) {
+  Rng rng(9);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 500; ++i)
+    pts.push_back(Vec3{rng.uniform(-3, 7), rng.uniform(0, 1), rng.uniform(-9, -2)});
+  const Cube c = bounding_cube(pts);
+  for (const Vec3& p : pts) EXPECT_TRUE(c.contains(p));
+}
+
+TEST(BoundingCube, MatchesMinMaxVariant) {
+  std::vector<Vec3> pts{{0, 0, 0}, {1, 2, 3}, {-1, 0.5, 2}};
+  const Cube a = bounding_cube(pts);
+  const Cube b = cube_from_minmax(Vec3{-1, 0, 0}, Vec3{1, 2, 3});
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_DOUBLE_EQ(a.half, b.half);
+}
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next_below(1u << 21));
+    const auto y = static_cast<std::uint32_t>(rng.next_below(1u << 21));
+    const auto z = static_cast<std::uint32_t>(rng.next_below(1u << 21));
+    std::uint32_t dx, dy, dz;
+    morton_decode(morton_encode(x, y, z), dx, dy, dz);
+    ASSERT_EQ(x, dx);
+    ASSERT_EQ(y, dy);
+    ASSERT_EQ(z, dz);
+  }
+}
+
+TEST(Morton, OrderRespectsOctants) {
+  // All points in a lower octant of the root sort before points in a higher
+  // octant (property of Z-order with our bit assignment).
+  const Cube root{Vec3{0, 0, 0}, 1.0};
+  const auto lo = morton_key(Vec3{-0.5, -0.5, -0.5}, root);
+  const auto hi = morton_key(Vec3{0.5, 0.5, 0.5}, root);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(Morton, ClampsOutOfRange) {
+  const Cube root{Vec3{0, 0, 0}, 1.0};
+  // Far outside the cube clamps to the maximum quantized coordinate.
+  const auto k = morton_key(Vec3{100, 100, 100}, root);
+  EXPECT_EQ(k, morton_encode(0x1fffff, 0x1fffff, 0x1fffff));
+  const auto lo = morton_key(Vec3{-100, -100, -100}, root);
+  EXPECT_EQ(lo, 0u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,125 @@
+// Negative tests for the tree checker: every invariant it claims to enforce
+// must actually fire on a hand-corrupted tree.
+#include <gtest/gtest.h>
+
+#include "bh/generate.hpp"
+#include "bh/seqtree.hpp"
+#include "bh/verify.hpp"
+
+namespace ptb {
+namespace {
+
+struct CorruptFixture : ::testing::Test {
+  void SetUp() override {
+    cfg.n = 512;
+    bodies = make_plummer(cfg.n, 77);
+    pool.init(4096);
+    root = SeqTree::build(bodies, cfg, pool);
+    SeqTree::compute_moments(root, bodies);
+    ASSERT_TRUE(check_tree(root, bodies, cfg, true).ok);
+  }
+
+  Node* find_leaf(Node* n) {
+    if (n->is_leaf(std::memory_order_relaxed)) return n->nbodies > 0 ? n : nullptr;
+    for (int o = 0; o < 8; ++o)
+      if (Node* c = n->get_child(o, std::memory_order_relaxed))
+        if (Node* l = find_leaf(c)) return l;
+    return nullptr;
+  }
+  Node* find_cell(Node* n) {
+    if (n->is_cell(std::memory_order_relaxed)) return n;
+    return nullptr;
+  }
+
+  BHConfig cfg;
+  Bodies bodies;
+  NodePool pool;
+  Node* root = nullptr;
+};
+
+TEST_F(CorruptFixture, DetectsDuplicateBody) {
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_LT(leaf->nbodies, kLeafCapacity);
+  leaf->bodies[leaf->nbodies++] = leaf->bodies[0];  // body appears twice
+  const auto res = check_tree(root, bodies, cfg);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("two leaves"), std::string::npos);
+}
+
+TEST_F(CorruptFixture, DetectsBadParentPointer) {
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  Node* old = leaf->parent;
+  leaf->parent = leaf;
+  EXPECT_FALSE(check_tree(root, bodies, cfg).ok);
+  leaf->parent = old;
+  EXPECT_TRUE(check_tree(root, bodies, cfg).ok);
+}
+
+TEST_F(CorruptFixture, DetectsBadLevel) {
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  leaf->level = static_cast<std::uint8_t>(leaf->level + 3);
+  EXPECT_FALSE(check_tree(root, bodies, cfg).ok);
+}
+
+TEST_F(CorruptFixture, DetectsGeometryViolation) {
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  leaf->cube.half *= 2.0;  // no longer an octant of the parent
+  EXPECT_FALSE(check_tree(root, bodies, cfg).ok);
+}
+
+TEST_F(CorruptFixture, DetectsReachableDeadNode) {
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  leaf->dead = true;
+  const auto res = check_tree(root, bodies, cfg);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("dead"), std::string::npos);
+}
+
+TEST_F(CorruptFixture, DetectsMomentCorruption) {
+  root->mass += 0.5;
+  EXPECT_FALSE(check_tree(root, bodies, cfg, /*check_moments=*/true).ok);
+  // Structure-only check still passes.
+  EXPECT_TRUE(check_tree(root, bodies, cfg, /*check_moments=*/false).ok);
+}
+
+TEST_F(CorruptFixture, DetectsMissingBody) {
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  --leaf->nbodies;  // drop one body from the tree
+  const auto res = check_tree(root, bodies, cfg);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("expected"), std::string::npos);
+}
+
+TEST_F(CorruptFixture, DetectsCellWithBodyCount) {
+  Node* cell = find_cell(root);
+  ASSERT_NE(cell, nullptr);
+  cell->nbodies = 3;
+  EXPECT_FALSE(check_tree(root, bodies, cfg).ok);
+}
+
+TEST_F(CorruptFixture, CanonicalHashChangesOnAnyMove) {
+  const auto h0 = canonical_hash(root, bodies);
+  Node* leaf = find_leaf(root);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_GE(leaf->nbodies, 1);
+  // Swap one body between this leaf and another leaf: hash must change.
+  Node* other = nullptr;
+  for (int o = 0; o < 8 && other == nullptr; ++o) {
+    if (Node* c = root->get_child(o, std::memory_order_relaxed)) {
+      Node* l = find_leaf(c);
+      if (l != nullptr && l != leaf) other = l;
+    }
+  }
+  ASSERT_NE(other, nullptr);
+  std::swap(leaf->bodies[0], other->bodies[0]);
+  EXPECT_NE(canonical_hash(root, bodies), h0);
+}
+
+}  // namespace
+}  // namespace ptb
