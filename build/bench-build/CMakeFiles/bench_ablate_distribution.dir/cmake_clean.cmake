@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_distribution"
+  "../bench/bench_ablate_distribution.pdb"
+  "CMakeFiles/bench_ablate_distribution.dir/bench_ablate_distribution.cpp.o"
+  "CMakeFiles/bench_ablate_distribution.dir/bench_ablate_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

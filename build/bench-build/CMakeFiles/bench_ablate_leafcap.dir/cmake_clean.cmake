@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_leafcap"
+  "../bench/bench_ablate_leafcap.pdb"
+  "CMakeFiles/bench_ablate_leafcap.dir/bench_ablate_leafcap.cpp.o"
+  "CMakeFiles/bench_ablate_leafcap.dir/bench_ablate_leafcap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_leafcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_lockcost"
+  "../bench/bench_ablate_lockcost.pdb"
+  "CMakeFiles/bench_ablate_lockcost.dir/bench_ablate_lockcost.cpp.o"
+  "CMakeFiles/bench_ablate_lockcost.dir/bench_ablate_lockcost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_lockcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_lockhash"
+  "../bench/bench_ablate_lockhash.pdb"
+  "CMakeFiles/bench_ablate_lockhash.dir/bench_ablate_lockhash.cpp.o"
+  "CMakeFiles/bench_ablate_lockhash.dir/bench_ablate_lockhash.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_lockhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_partitioner"
+  "../bench/bench_ablate_partitioner.pdb"
+  "CMakeFiles/bench_ablate_partitioner.dir/bench_ablate_partitioner.cpp.o"
+  "CMakeFiles/bench_ablate_partitioner.dir/bench_ablate_partitioner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_spacethresh"
+  "../bench/bench_ablate_spacethresh.pdb"
+  "CMakeFiles/bench_ablate_spacethresh.dir/bench_ablate_spacethresh.cpp.o"
+  "CMakeFiles/bench_ablate_spacethresh.dir/bench_ablate_spacethresh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_spacethresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

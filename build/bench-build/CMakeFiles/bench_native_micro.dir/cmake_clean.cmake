@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_native_micro"
+  "../bench/bench_native_micro.pdb"
+  "CMakeFiles/bench_native_micro.dir/bench_native_micro.cpp.o"
+  "CMakeFiles/bench_native_micro.dir/bench_native_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec442_sc"
+  "../bench/bench_sec442_sc.pdb"
+  "CMakeFiles/bench_sec442_sc.dir/bench_sec442_sc.cpp.o"
+  "CMakeFiles/bench_sec442_sc.dir/bench_sec442_sc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec442_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colliding_galaxies.dir/colliding_galaxies.cpp.o"
+  "CMakeFiles/colliding_galaxies.dir/colliding_galaxies.cpp.o.d"
+  "colliding_galaxies"
+  "colliding_galaxies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colliding_galaxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

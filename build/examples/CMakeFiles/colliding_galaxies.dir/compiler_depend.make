@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for colliding_galaxies.
+# This may be replaced when dependencies are built.

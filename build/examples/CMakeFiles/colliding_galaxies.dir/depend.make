@@ -1,0 +1,2 @@
+# Empty dependencies file for colliding_galaxies.
+# This may be replaced when dependencies are built.

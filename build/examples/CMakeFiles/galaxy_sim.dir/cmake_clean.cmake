@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_sim.dir/galaxy_sim.cpp.o"
+  "CMakeFiles/galaxy_sim.dir/galaxy_sim.cpp.o.d"
+  "galaxy_sim"
+  "galaxy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bh/diagnostics.cpp" "src/CMakeFiles/ptb.dir/bh/diagnostics.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/bh/diagnostics.cpp.o.d"
+  "/root/repo/src/bh/generate.cpp" "src/CMakeFiles/ptb.dir/bh/generate.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/bh/generate.cpp.o.d"
+  "/root/repo/src/bh/seqtree.cpp" "src/CMakeFiles/ptb.dir/bh/seqtree.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/bh/seqtree.cpp.o.d"
+  "/root/repo/src/bh/verify.cpp" "src/CMakeFiles/ptb.dir/bh/verify.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/bh/verify.cpp.o.d"
+  "/root/repo/src/harness/app.cpp" "src/CMakeFiles/ptb.dir/harness/app.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/harness/app.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/ptb.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/ptb.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/harness/report.cpp.o.d"
+  "/root/repo/src/mem/cache_model.cpp" "src/CMakeFiles/ptb.dir/mem/cache_model.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/mem/cache_model.cpp.o.d"
+  "/root/repo/src/mem/hlrc_model.cpp" "src/CMakeFiles/ptb.dir/mem/hlrc_model.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/mem/hlrc_model.cpp.o.d"
+  "/root/repo/src/mem/invalidation_model.cpp" "src/CMakeFiles/ptb.dir/mem/invalidation_model.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/mem/invalidation_model.cpp.o.d"
+  "/root/repo/src/mem/model.cpp" "src/CMakeFiles/ptb.dir/mem/model.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/mem/model.cpp.o.d"
+  "/root/repo/src/mem/region_table.cpp" "src/CMakeFiles/ptb.dir/mem/region_table.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/mem/region_table.cpp.o.d"
+  "/root/repo/src/platform/spec.cpp" "src/CMakeFiles/ptb.dir/platform/spec.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/platform/spec.cpp.o.d"
+  "/root/repo/src/sim/sim_rt.cpp" "src/CMakeFiles/ptb.dir/sim/sim_rt.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/sim/sim_rt.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/ptb.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/ptb.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/ptb.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/support/table.cpp.o.d"
+  "/root/repo/src/treebuild/treebuild.cpp" "src/CMakeFiles/ptb.dir/treebuild/treebuild.cpp.o" "gcc" "src/CMakeFiles/ptb.dir/treebuild/treebuild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aligned_pool.cpp" "tests/CMakeFiles/ptb_tests.dir/test_aligned_pool.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_aligned_pool.cpp.o.d"
+  "/root/repo/tests/test_app.cpp" "tests/CMakeFiles/ptb_tests.dir/test_app.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_app.cpp.o.d"
+  "/root/repo/tests/test_builders.cpp" "tests/CMakeFiles/ptb_tests.dir/test_builders.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_builders.cpp.o.d"
+  "/root/repo/tests/test_cache_model.cpp" "tests/CMakeFiles/ptb_tests.dir/test_cache_model.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_cache_model.cpp.o.d"
+  "/root/repo/tests/test_diagnostics.cpp" "tests/CMakeFiles/ptb_tests.dir/test_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_diagnostics.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/ptb_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_generate.cpp" "tests/CMakeFiles/ptb_tests.dir/test_generate.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_generate.cpp.o.d"
+  "/root/repo/tests/test_hlrc_home.cpp" "tests/CMakeFiles/ptb_tests.dir/test_hlrc_home.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_hlrc_home.cpp.o.d"
+  "/root/repo/tests/test_hlrc_model.cpp" "tests/CMakeFiles/ptb_tests.dir/test_hlrc_model.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_hlrc_model.cpp.o.d"
+  "/root/repo/tests/test_invalidation_model.cpp" "tests/CMakeFiles/ptb_tests.dir/test_invalidation_model.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_invalidation_model.cpp.o.d"
+  "/root/repo/tests/test_lock_buckets.cpp" "tests/CMakeFiles/ptb_tests.dir/test_lock_buckets.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_lock_buckets.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/ptb_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_native_rt.cpp" "tests/CMakeFiles/ptb_tests.dir/test_native_rt.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_native_rt.cpp.o.d"
+  "/root/repo/tests/test_omp_rt.cpp" "tests/CMakeFiles/ptb_tests.dir/test_omp_rt.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_omp_rt.cpp.o.d"
+  "/root/repo/tests/test_orb.cpp" "tests/CMakeFiles/ptb_tests.dir/test_orb.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_orb.cpp.o.d"
+  "/root/repo/tests/test_phases.cpp" "tests/CMakeFiles/ptb_tests.dir/test_phases.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_phases.cpp.o.d"
+  "/root/repo/tests/test_portability.cpp" "tests/CMakeFiles/ptb_tests.dir/test_portability.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_portability.cpp.o.d"
+  "/root/repo/tests/test_region_table.cpp" "tests/CMakeFiles/ptb_tests.dir/test_region_table.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_region_table.cpp.o.d"
+  "/root/repo/tests/test_seqtree.cpp" "tests/CMakeFiles/ptb_tests.dir/test_seqtree.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_seqtree.cpp.o.d"
+  "/root/repo/tests/test_sim_ordered.cpp" "tests/CMakeFiles/ptb_tests.dir/test_sim_ordered.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_sim_ordered.cpp.o.d"
+  "/root/repo/tests/test_sim_reference.cpp" "tests/CMakeFiles/ptb_tests.dir/test_sim_reference.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_sim_reference.cpp.o.d"
+  "/root/repo/tests/test_sim_rt.cpp" "tests/CMakeFiles/ptb_tests.dir/test_sim_rt.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_sim_rt.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/ptb_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_update_builder.cpp" "tests/CMakeFiles/ptb_tests.dir/test_update_builder.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_update_builder.cpp.o.d"
+  "/root/repo/tests/test_vec_aabb_morton.cpp" "tests/CMakeFiles/ptb_tests.dir/test_vec_aabb_morton.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_vec_aabb_morton.cpp.o.d"
+  "/root/repo/tests/test_verify_negative.cpp" "tests/CMakeFiles/ptb_tests.dir/test_verify_negative.cpp.o" "gcc" "tests/CMakeFiles/ptb_tests.dir/test_verify_negative.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
