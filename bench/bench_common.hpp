@@ -7,17 +7,93 @@
 // Pass --procs / --sizes / --steps to override any sweep dimension.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "sim/sim_rt.hpp"
+#include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "treebuild/types.hpp"
 
 namespace ptb::bench {
+
+/// Machine-readable result sink behind the --json=<path> flag: every
+/// measured cell is appended as one flat object (config strings + numeric
+/// measurements), and save() writes the whole array. The files accumulate
+/// the perf trajectory across PRs (e.g. BENCH_sched.json).
+class JsonReport {
+ public:
+  /// Exits (2) if the path is not writable — fail before the (possibly
+  /// hours-long) run, not at save() after it.
+  void set_path(std::string path) {
+    if (!path.empty()) {
+      std::FILE* f = std::fopen(path.c_str(), "a");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open --json path for writing: %s\n", path.c_str());
+        std::exit(2);
+      }
+      std::fclose(f);
+    }
+    path_ = std::move(path);
+  }
+  bool enabled() const { return !path_.empty(); }
+
+  JsonReport& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonReport& field(const std::string& key, const std::string& v) {
+    rows_.back().emplace_back(key, "\"" + escaped(v) + "\"");
+    return *this;
+  }
+  JsonReport& field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  JsonReport& field(const std::string& key, std::int64_t v) {
+    rows_.back().emplace_back(key, std::to_string(v));
+    return *this;
+  }
+
+  /// Writes the accumulated rows; no-op unless --json was given.
+  void save() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    PTB_CHECK_MSG(f != nullptr, "cannot open --json output path");
+    std::fprintf(f, "[\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i)
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ", rows_[r][i].first.c_str(),
+                     rows_[r][i].second.c_str());
+      std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu JSON rows to %s\n", rows_.size(), path_.c_str());
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 struct BenchOptions {
   std::vector<std::int64_t> sizes;
@@ -25,6 +101,8 @@ struct BenchOptions {
   int warmup = 1;
   int measured = 2;
   bool full = false;
+  SimBackend backend = default_sim_backend();
+  JsonReport json;
 };
 
 /// Parses the standard flags. `default_sizes`/`default_procs` are the quick
@@ -42,6 +120,17 @@ inline BenchOptions parse_options(int argc, char** argv, const std::string& defa
                                            "comma-separated processor counts");
   opt.warmup = static_cast<int>(cli.get_int("warmup", 1, "warm-up steps (untimed)"));
   opt.measured = static_cast<int>(cli.get_int("steps", 2, "measured time-steps"));
+  const std::string backend =
+      cli.get_string("backend", to_string(default_sim_backend()),
+                     "scheduler backend: fibers | threads");
+  if (backend != "fibers" && backend != "threads") {
+    std::fprintf(stderr, "bad --backend: %s (want fibers | threads)\n", backend.c_str());
+    std::exit(2);
+  }
+  opt.backend = sim_backend_from_string(backend);
+  const std::string json_path =
+      cli.get_string("json", "", "also write results to this JSON file");
+  opt.json.set_path(json_path);
   cli.finish();
   // Parse the comma-separated lists.
   auto parse_list = [](const std::string& v) {
@@ -69,8 +158,21 @@ inline ExperimentSpec make_spec(const std::string& platform, Algorithm alg, int 
   s.nprocs = np;
   s.warmup_steps = opt.warmup;
   s.measured_steps = opt.measured;
+  s.backend = opt.backend;
   return s;
 }
+
+/// Wall-clock timer for host-side cost of a measured cell.
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
 
 inline std::string size_label(std::int64_t n) {
   if (n % 1024 == 0) return std::to_string(n / 1024) + "k";

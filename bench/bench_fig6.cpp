@@ -19,11 +19,23 @@ int main(int argc, char** argv) {
   for (Algorithm alg : all_algorithms()) {
     std::vector<std::string> row = {algorithm_name(alg)};
     for (auto n : opt.sizes) {
+      WallTimer wall;
       const auto r = runner.run(make_spec("challenge", alg, static_cast<int>(n), np, opt));
       row.push_back(fmt_speedup(r.speedup));
+      opt.json.row()
+          .field("figure", std::string("fig6"))
+          .field("platform", std::string("challenge"))
+          .field("algorithm", std::string(algorithm_name(alg)))
+          .field("n", n)
+          .field("procs", static_cast<std::int64_t>(np))
+          .field("backend", to_string(opt.backend))
+          .field("speedup", r.speedup)
+          .field("virtual_ns", r.run.total_ns)
+          .field("host_seconds", wall.seconds());
     }
     t.add_row(row);
   }
   t.print();
+  opt.json.save();
   return 0;
 }

@@ -23,7 +23,8 @@ std::string baseline_key(const ExperimentSpec& spec) {
   std::ostringstream os;
   os << spec.platform << '/' << bh.n << '/' << bh.theta << '/' << bh.leaf_cap << '/'
      << bh.seed << '/' << spec.warmup_steps << '/' << spec.measured_steps << '/'
-     << static_cast<int>(bh.partitioner) << '/' << bh.lock_buckets;
+     << static_cast<int>(bh.partitioner) << '/' << bh.lock_buckets << '/'
+     << to_string(spec.backend);
   return os.str();
 }
 
@@ -48,7 +49,7 @@ PlatformSpec sequential_variant(const PlatformSpec& spec) {
 template <class Builder>
 RunResult run_one(const PlatformSpec& platform, const ExperimentSpec& spec) {
   AppState st = make_app_state(effective_bh(spec), spec.nprocs);
-  SimContext ctx(platform, spec.nprocs);
+  SimContext ctx(platform, spec.nprocs, spec.backend);
   Builder builder(st);
   const RunConfig rc{spec.warmup_steps, spec.measured_steps};
   return run_simulation(ctx, st, builder, rc);
@@ -80,7 +81,7 @@ ExperimentRunner::Baseline ExperimentRunner::baseline(const ExperimentSpec& spec
 
   const PlatformSpec platform = sequential_variant(PlatformSpec::by_name(spec.platform));
   AppState st = make_app_state(effective_bh(spec), 1);
-  SimContext ctx(platform, 1);
+  SimContext ctx(platform, 1, spec.backend);
   SeqBuilder builder(st);
   const RunConfig rc{spec.warmup_steps, spec.measured_steps};
   const RunResult res = run_simulation(ctx, st, builder, rc);
@@ -108,7 +109,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   const PlatformSpec platform = PlatformSpec::by_name(spec.platform);
 
   AppState st = make_app_state(effective_bh(spec), spec.nprocs);
-  SimContext ctx(platform, spec.nprocs);
+  SimContext ctx(platform, spec.nprocs, spec.backend);
 
   ExperimentResult out;
   {

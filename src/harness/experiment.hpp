@@ -9,6 +9,7 @@
 
 #include "harness/app.hpp"
 #include "mem/model.hpp"
+#include "sim/sim_rt.hpp"
 #include "treebuild/types.hpp"
 
 namespace ptb {
@@ -20,6 +21,9 @@ struct ExperimentSpec {
   int nprocs = 16;
   int warmup_steps = 2;
   int measured_steps = 2;
+  /// Scheduler backend of the simulator (fibers by default; threads is the
+  /// cross-check backend — both produce bit-identical results).
+  SimBackend backend = default_sim_backend();
   BHConfig bh;  // n is overwritten from `n`
 };
 

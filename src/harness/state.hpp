@@ -15,6 +15,7 @@
 #include "bh/config.hpp"
 #include "bh/node.hpp"
 #include "bh/pool.hpp"
+#include "support/aligned.hpp"
 
 namespace ptb {
 
@@ -31,8 +32,12 @@ struct ReduceSlot {
   std::int64_t value;
 };
 
-/// Tree state shared by every builder.
-struct TreeShared {
+/// Tree state shared by every builder. Page-aligned so the registered
+/// "tree.globals" region (root + root_cube, the first members) starts on a
+/// page boundary like every other shared region — the line/page grid must
+/// not depend on where the enclosing AppState happens to live (DESIGN.md
+/// decision 6).
+struct alignas(kRegionAlignment) TreeShared {
   Node* root = nullptr;
   Cube root_cube;
 

@@ -15,11 +15,14 @@ HlrcModel::HlrcModel(const PlatformSpec& spec, int nprocs) : MemModel(spec, npro
 
 std::uint64_t HlrcModel::local_touch(int proc, const void* p, std::size_t n) {
   if (spec_.cache_bytes == 0 || spec_.local_miss_ns <= 0.0) return 0;
-  // 64 B line grid over the raw address (coherence is per page; this is the
-  // node's own cache, so no epochs are involved).
-  const auto a = reinterpret_cast<std::uintptr_t>(p);
-  const std::size_t first = a / 64;
-  const std::size_t last = (a + (n > 0 ? n : 1) - 1) / 64;
+  // 64 B line grid over the region's virtual offset (coherence is per page;
+  // this is the node's own cache, so no epochs are involved). The virtual
+  // offset — not the raw address — keys the lines so the cache's set mapping
+  // does not depend on where the allocator/ASLR placed the region.
+  std::size_t off;
+  if (!regions_.virtual_offset(p, off)) return 0;
+  const std::size_t first = off / 64;
+  const std::size_t last = (off + (n > 0 ? n : 1) - 1) / 64;
   std::uint64_t cost = 0;
   auto& cache = local_cache_[static_cast<std::size_t>(proc)];
   for (std::size_t b = first; b <= last; ++b)

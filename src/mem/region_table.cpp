@@ -33,10 +33,17 @@ void RegionTable::add(const void* base, std::size_t bytes, HomePolicy policy, in
   regions_.push_back(std::move(r));
   std::sort(regions_.begin(), regions_.end(),
             [](const Region& a, const Region& b) { return a.base < b.base; });
+  block_order_.resize(regions_.size());
+  for (std::uint32_t i = 0; i < block_order_.size(); ++i) block_order_[i] = i;
+  std::sort(block_order_.begin(), block_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return regions_[a].first_block < regions_[b].first_block;
+            });
 }
 
 void RegionTable::clear() {
   regions_.clear();
+  block_order_.clear();
   total_blocks_ = 0;
 }
 
@@ -79,6 +86,16 @@ BlockRef RegionTable::resolve(const void* p, int nprocs) const {
   return ref;
 }
 
+bool RegionTable::virtual_offset(const void* p, std::size_t& off) const {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const Region* r = find(a);
+  if (r == nullptr) return false;
+  const std::size_t block_in_region = (a / block_bytes_) - (r->base / block_bytes_);
+  off = (r->first_block + block_in_region) * block_bytes_ +
+        static_cast<std::size_t>(a % block_bytes_);
+  return true;
+}
+
 bool RegionTable::resolve_range(const void* p, std::size_t n, int nprocs, std::size_t& first,
                                 std::size_t& last, int& home_of_first) const {
   const auto a = reinterpret_cast<std::uintptr_t>(p);
@@ -94,10 +111,15 @@ bool RegionTable::resolve_range(const void* p, std::size_t n, int nprocs, std::s
 }
 
 int RegionTable::block_home(std::size_t global_block, int nprocs) const {
-  for (const Region& r : regions_) {
-    if (global_block >= r.first_block && global_block < r.first_block + r.num_blocks)
-      return home_of(r, global_block - r.first_block, nprocs);
-  }
+  // Last region whose first_block <= global_block.
+  auto it = std::upper_bound(block_order_.begin(), block_order_.end(), global_block,
+                             [this](std::size_t b, std::uint32_t i) {
+                               return b < regions_[i].first_block;
+                             });
+  if (it == block_order_.begin()) return 0;
+  const Region& r = regions_[*std::prev(it)];
+  if (global_block < r.first_block + r.num_blocks)
+    return home_of(r, global_block - r.first_block, nprocs);
   return 0;
 }
 

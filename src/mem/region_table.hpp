@@ -51,13 +51,22 @@ class RegionTable {
   /// Resolves an address. Returns shared=false for unregistered memory.
   BlockRef resolve(const void* p, int nprocs) const;
 
+  /// Stable byte offset of a registered address: the region's block span
+  /// mapped to registration-ordered virtual bytes, preserving the offset
+  /// within each block. Use this instead of the raw address wherever a
+  /// finer-than-block grid is needed (e.g. the HLRC local cache's 64 B
+  /// lines), so results do not depend on where the allocator/ASLR placed
+  /// the region. Returns false for unregistered memory.
+  bool virtual_offset(const void* p, std::size_t& off) const;
+
   /// Range of global block indices [first, last] covered by [p, p+n).
   /// Returns false if the address is not in a registered region.
   bool resolve_range(const void* p, std::size_t n, int nprocs, std::size_t& first,
                      std::size_t& last, int& home_of_first) const;
 
-  /// Home processor of a global block index (linear scan over the handful of
-  /// regions; used when a multi-block access spans interleaved homes).
+  /// Home processor of a global block index (binary search over the regions
+  /// ordered by first_block; hit on every block of a multi-block access that
+  /// spans interleaved homes).
   int block_home(std::size_t global_block, int nprocs) const;
 
   const std::vector<Region>& regions() const { return regions_; }
@@ -69,6 +78,10 @@ class RegionTable {
   std::size_t block_bytes_ = 128;
   std::size_t total_blocks_ = 0;
   std::vector<Region> regions_;  // sorted by base
+  // regions_ indices ordered by first_block: global block indices are assigned
+  // in registration order, which the sort by base permutes, so block_home
+  // needs its own sorted view to binary-search.
+  std::vector<std::uint32_t> block_order_;
 };
 
 }  // namespace ptb

@@ -1,14 +1,44 @@
 #include "sim/sim_rt.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "support/check.hpp"
 
 namespace ptb {
 
-SimContext::SimContext(const PlatformSpec& spec, int nprocs)
-    : spec_(spec), nprocs_(nprocs), mem_(make_mem_model(spec, nprocs)) {
+namespace {
+
+// Lazily committed (mmap) — plenty for the recursive tree walks, and costs
+// only the pages actually touched, like a host thread's stack.
+constexpr std::size_t kFiberStackBytes = std::size_t{8} << 20;
+
+}  // namespace
+
+SimBackend default_sim_backend() {
+  static const SimBackend b = [] {
+    const char* env = std::getenv("PTB_SIM_BACKEND");
+    if (env != nullptr && env[0] != '\0') return sim_backend_from_string(env);
+    return SimBackend::kFibers;
+  }();
+  return b;
+}
+
+const char* to_string(SimBackend b) {
+  return b == SimBackend::kFibers ? "fibers" : "threads";
+}
+
+SimBackend sim_backend_from_string(const std::string& s) {
+  if (s == "fibers") return SimBackend::kFibers;
+  if (s == "threads") return SimBackend::kThreads;
+  PTB_CHECK_MSG(false, "unknown simulator backend (want \"fibers\" or \"threads\")");
+  return SimBackend::kFibers;
+}
+
+SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend)
+    : spec_(spec), nprocs_(nprocs), backend_(backend), mem_(make_mem_model(spec, nprocs)) {
   PTB_CHECK(nprocs >= 1 && nprocs <= 64);
   const auto np = static_cast<std::size_t>(nprocs);
   clock_.assign(np, 0);
@@ -19,25 +49,12 @@ SimContext::SimContext(const PlatformSpec& spec, int nprocs)
   stats_.assign(np, ProcStats{});
   lock_granted_.assign(np, 0);
   barrier_arrival_.assign(np, 0);
-  turn_cv_ = std::make_unique<std::condition_variable[]>(np);
+  heap_.init(nprocs);
+  if (backend_ == SimBackend::kThreads)
+    turn_cv_ = std::make_unique<std::condition_variable[]>(np);
 }
 
 SimContext::~SimContext() = default;
-
-void SimContext::wake_min() {
-  int best = -1;
-  for (int q = 0; q < nprocs_; ++q) {
-    if (status_[static_cast<std::size_t>(q)] != Status::kActive) continue;
-    if (best < 0 ||
-        clock_[static_cast<std::size_t>(q)] < clock_[static_cast<std::size_t>(best)])
-      best = q;
-  }
-  if (best >= 0) turn_cv_[static_cast<std::size_t>(best)].notify_one();
-}
-
-void SimContext::wake_all() {
-  for (int q = 0; q < nprocs_; ++q) turn_cv_[static_cast<std::size_t>(q)].notify_one();
-}
 
 void SimContext::register_region(const void* base, std::size_t bytes, HomePolicy policy,
                                  int fixed_home, std::string name) {
@@ -54,54 +71,161 @@ std::uint64_t SimContext::elapsed_ns() const {
   return mx;
 }
 
+// --- run loop ---
+
+void SimContext::reset_run_state() {
+  const auto np = static_cast<std::size_t>(nprocs_);
+  clock_.assign(np, 0);
+  status_.assign(np, Status::kActive);
+  pending_.assign(np, 0);
+  phase_.assign(np, Phase::kOther);
+  phase_mark_.assign(np, 0);
+  lock_granted_.assign(np, 0);
+  barrier_arrival_.assign(np, 0);
+  locks_.clear();
+  barrier_arrived_ = 0;
+  heap_.init(nprocs_);
+  for (int p = 0; p < nprocs_; ++p) heap_.push(p, 0);
+}
+
 void SimContext::run_impl(const std::function<void(SimProc&)>& f) {
-  {
-    std::lock_guard<std::mutex> g(m_);
-    const auto np = static_cast<std::size_t>(nprocs_);
-    clock_.assign(np, 0);
-    status_.assign(np, Status::kActive);
-    pending_.assign(np, 0);
-    phase_.assign(np, Phase::kOther);
-    phase_mark_.assign(np, 0);
-    lock_granted_.assign(np, 0);
-    barrier_arrival_.assign(np, 0);
-    locks_.clear();
-    barrier_arrived_ = 0;
-    barrier_release_ns_ = 0;
-  }
+  reset_run_state();
+  if (backend_ == SimBackend::kFibers)
+    run_fibers(f);
+  else
+    run_threads(f);
+}
+
+void SimContext::finish_proc(int p) {
+  flush_pending(p);
+  const auto idx = static_cast<std::size_t>(p);
+  stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
+      static_cast<double>(clock_[idx] - phase_mark_[idx]);
+  phase_mark_[idx] = clock_[idx];
+  leave_active(p, Status::kDone);
+  maybe_release_barrier();
+}
+
+void SimContext::run_threads(const std::function<void(SimProc&)>& f) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs_));
   for (int p = 0; p < nprocs_; ++p) {
     threads.emplace_back([this, p, &f] {
+      {
+        // Wait for the run token before executing any host code, so the
+        // thread interleaving is exactly the fiber backend's.
+        std::unique_lock<std::mutex> lk(m_);
+        turn_cv_[static_cast<std::size_t>(p)].wait(lk, [this, p] { return running_ == p; });
+      }
       SimProc proc(*this, p);
       f(proc);
-      std::unique_lock<std::mutex> l(m_);
-      flush_pending(p);
-      // Final phase attribution.
-      const auto idx = static_cast<std::size_t>(p);
-      stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
-          static_cast<double>(clock_[idx] - phase_mark_[idx]);
-      phase_mark_[idx] = clock_[idx];
-      status_[idx] = Status::kDone;
-      maybe_release_barrier();
-      wake_all();
+      std::lock_guard<std::mutex> g(m_);
+      finish_proc(p);
+      pass_token(p);
     });
   }
-  for (auto& t : threads) t.join();
-}
-
-bool SimContext::is_min_active(int p) const {
-  const std::uint64_t my = clock_[static_cast<std::size_t>(p)];
-  for (int q = 0; q < nprocs_; ++q) {
-    if (q == p || status_[static_cast<std::size_t>(q)] != Status::kActive) continue;
-    const std::uint64_t other = clock_[static_cast<std::size_t>(q)];
-    if (other < my || (other == my && q < p)) return false;
+  {
+    std::lock_guard<std::mutex> g(m_);
+    running_ = kHostContext;
+    pass_token(kHostContext);  // start the virtual-time minimum (processor 0)
   }
-  return true;
+  for (auto& t : threads) t.join();
+  PTB_CHECK(alive_count() == 0);
 }
 
-void SimContext::wait_for_turn(std::unique_lock<std::mutex>& l, int p) {
-  turn_cv_[static_cast<std::size_t>(p)].wait(l, [this, p] { return is_min_active(p); });
+void SimContext::fiber_entry(void* arg) {
+  auto* fa = static_cast<FiberArg*>(arg);
+  fa->ctx->fiber_body(fa->proc);
+}
+
+void SimContext::fiber_body(int p) {
+  SimProc proc(*this, p);
+  (*body_)(proc);
+  finish_proc(p);
+  // Hand off to the next runnable processor (or the host when everyone is
+  // done). A Done processor is never in the heap, so this fiber is never
+  // resumed; if it somehow were, the entry shim aborts.
+  fiber_reschedule();
+}
+
+void SimContext::fiber_reschedule() {
+  const int me = running_;
+  const int next = heap_.top();
+  PTB_CHECK(next != me);
+  Fiber& from = me == kHostContext ? host_ctx_ : *fibers_[static_cast<std::size_t>(me)];
+  if (next < 0) {
+    // Nobody is runnable. At end of run every processor is Done and control
+    // returns to the host; otherwise the simulated program deadlocked
+    // (a lock cycle or mismatched barriers).
+    PTB_CHECK_MSG(alive_count() == 0,
+                  "simulated deadlock: every processor is blocked");
+    running_ = kHostContext;
+    Fiber::switch_to(from, host_ctx_);
+    return;
+  }
+  running_ = next;
+  Fiber::switch_to(from, *fibers_[static_cast<std::size_t>(next)]);
+}
+
+void SimContext::run_fibers(const std::function<void(SimProc&)>& f) {
+  body_ = &f;
+  const auto np = static_cast<std::size_t>(nprocs_);
+  fibers_.clear();
+  fibers_.resize(np);
+  fiber_args_.resize(np);
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    fiber_args_[pi] = FiberArg{this, p};
+    fibers_[pi] = std::make_unique<Fiber>();
+    fibers_[pi]->start(&SimContext::fiber_entry, &fiber_args_[pi], kFiberStackBytes);
+  }
+  running_ = kHostContext;
+  fiber_reschedule();  // resumes the virtual-time minimum; returns when all done
+  PTB_CHECK(alive_count() == 0);
+  fibers_.clear();
+  body_ = nullptr;
+}
+
+// --- scheduling core ---
+
+void SimContext::yield_turn(OpLock& l, int p) {
+  if (backend_ == SimBackend::kFibers) {
+    fiber_reschedule();
+    return;
+  }
+  pass_token(p);
+  turn_cv_[static_cast<std::size_t>(p)].wait(l.l, [this, p] { return running_ == p; });
+}
+
+void SimContext::pass_token(int me) {
+  const int next = heap_.top();
+  if (next < 0) {
+    // Nobody is runnable: either the run is over, or the simulated program
+    // deadlocked (a lock cycle or mismatched barriers).
+    PTB_CHECK_MSG(alive_count() == 0,
+                  "simulated deadlock: every processor is blocked");
+    running_ = kHostContext;
+    return;
+  }
+  if (next != me) {
+    running_ = next;
+    turn_cv_[static_cast<std::size_t>(next)].notify_one();
+  }
+}
+
+void SimContext::wait_for_turn(OpLock& l, int p) {
+  // p is Active (in the heap), so the heap is never empty here; yield to the
+  // minimum until the minimum is us.
+  while (heap_.top() != p) yield_turn(l, p);
+}
+
+void SimContext::wait_lock_grant(OpLock& l, int p) {
+  const auto idx = static_cast<std::size_t>(p);
+  while (lock_granted_[idx] == 0) yield_turn(l, p);
+}
+
+void SimContext::wait_barrier_release(OpLock& l, int p, std::uint64_t gen) {
+  while (barrier_generation_ == gen) yield_turn(l, p);
 }
 
 void SimContext::flush_pending(int p) {
@@ -109,80 +233,24 @@ void SimContext::flush_pending(int p) {
   if (pending_[idx] != 0) {
     clock_[idx] += pending_[idx];
     pending_[idx] = 0;
-    // Raising our clock can make another processor the minimum.
-    wake_min();
+    if (heap_.contains(p)) heap_.update(p, clock_[idx]);
   }
 }
 
 void SimContext::advance(int p, std::uint64_t cost) {
-  clock_[static_cast<std::size_t>(p)] += cost;
-}
-
-void SimContext::op_ordered(int p,
-                            std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
-                                                          std::uint64_t),
-                            const void* addr, std::size_t n) {
-  std::unique_lock<std::mutex> l(m_);
-  flush_pending(p);
-  wait_for_turn(l, p);
-  advance(p, (mem_.get()->*fn)(p, addr, n, clock_[static_cast<std::size_t>(p)]));
-  wake_min();
-}
-
-void SimContext::op_lock(int p, const void* addr) {
   const auto idx = static_cast<std::size_t>(p);
-  std::unique_lock<std::mutex> l(m_);
-  flush_pending(p);
-  ++stats_[idx].lock_acquires[static_cast<int>(phase_[idx])];
-  wait_for_turn(l, p);
-  LockState& ls = locks_[addr];
-  if (!ls.held) {
-    ls.held = true;
-    ls.holder = p;
-    advance(p, mem_->on_acquire(p, clock_[idx]));
-    wake_min();
-    return;
-  }
-  const std::uint64_t request_ns = clock_[idx];
-  ls.waiters.emplace_back(request_ns, p);
-  status_[idx] = Status::kBlockedLock;
-  wake_min();  // leaving the Active set may unblock someone's turn
-  turn_cv_[idx].wait(l, [this, idx] { return lock_granted_[idx] != 0; });
-  lock_granted_[idx] = 0;
-  stats_[idx].lock_wait_ns += static_cast<double>(clock_[idx] - request_ns);
-  // The releaser set our clock to the grant time and made us Active again;
-  // run the acquire-side protocol in global virtual-time order.
-  wait_for_turn(l, p);
-  advance(p, mem_->on_acquire(p, clock_[idx]));
-  wake_min();
+  clock_[idx] += cost;
+  heap_.update(p, clock_[idx]);
 }
 
-void SimContext::op_unlock(int p, const void* addr) {
-  const auto idx = static_cast<std::size_t>(p);
-  std::unique_lock<std::mutex> l(m_);
-  flush_pending(p);
-  wait_for_turn(l, p);
-  auto it = locks_.find(addr);
-  PTB_CHECK_MSG(it != locks_.end() && it->second.held && it->second.holder == p,
-                "unlock of a lock not held by this processor");
-  LockState& ls = it->second;
-  advance(p, mem_->on_release(p, clock_[idx]));
-  if (ls.waiters.empty()) {
-    ls.held = false;
-    ls.holder = -1;
-  } else {
-    // Grant to the earliest request in virtual time (ties by processor id).
-    auto best = std::min_element(ls.waiters.begin(), ls.waiters.end());
-    const int w = best->second;
-    ls.waiters.erase(best);
-    ls.holder = w;
-    const auto widx = static_cast<std::size_t>(w);
-    clock_[widx] = std::max(clock_[widx], clock_[idx]);
-    status_[widx] = Status::kActive;
-    lock_granted_[widx] = 1;
-    turn_cv_[widx].notify_one();
-  }
-  wake_min();
+void SimContext::set_active(int p) {
+  status_[static_cast<std::size_t>(p)] = Status::kActive;
+  heap_.push(p, clock_[static_cast<std::size_t>(p)]);
+}
+
+void SimContext::leave_active(int p, Status s) {
+  status_[static_cast<std::size_t>(p)] = s;
+  heap_.remove(p);
 }
 
 int SimContext::alive_count() const {
@@ -204,40 +272,97 @@ bool SimContext::maybe_release_barrier() {
     if (status_[qi] != Status::kInBarrier) continue;
     stats_[qi].barrier_wait_ns += static_cast<double>(release - barrier_arrival_[qi]);
     clock_[qi] = release;
-    status_[qi] = Status::kActive;
+    set_active(q);
   }
   barrier_arrived_ = 0;
   ++barrier_generation_;
   return true;
 }
 
+// --- operations ---
+
+void SimContext::op_ordered(int p,
+                            std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
+                                                          std::uint64_t),
+                            const void* addr, std::size_t n) {
+  OpLock l(*this);
+  flush_pending(p);
+  wait_for_turn(l, p);
+  advance(p, (mem_.get()->*fn)(p, addr, n, clock_[static_cast<std::size_t>(p)]));
+}
+
+void SimContext::op_lock(int p, const void* addr) {
+  const auto idx = static_cast<std::size_t>(p);
+  OpLock l(*this);
+  flush_pending(p);
+  ++stats_[idx].lock_acquires[static_cast<int>(phase_[idx])];
+  wait_for_turn(l, p);
+  LockState& ls = locks_[addr];
+  if (!ls.held) {
+    ls.held = true;
+    ls.holder = p;
+    advance(p, mem_->on_acquire(p, clock_[idx]));
+    return;
+  }
+  const std::uint64_t request_ns = clock_[idx];
+  ls.waiters.emplace_back(request_ns, p);
+  leave_active(p, Status::kBlockedLock);
+  wait_lock_grant(l, p);
+  lock_granted_[idx] = 0;
+  stats_[idx].lock_wait_ns += static_cast<double>(clock_[idx] - request_ns);
+  // The releaser set our clock to the grant time and made us Active again;
+  // run the acquire-side protocol in global virtual-time order.
+  wait_for_turn(l, p);
+  advance(p, mem_->on_acquire(p, clock_[idx]));
+}
+
+void SimContext::op_unlock(int p, const void* addr) {
+  const auto idx = static_cast<std::size_t>(p);
+  OpLock l(*this);
+  flush_pending(p);
+  wait_for_turn(l, p);
+  auto it = locks_.find(addr);
+  PTB_CHECK_MSG(it != locks_.end() && it->second.held && it->second.holder == p,
+                "unlock of a lock not held by this processor");
+  LockState& ls = it->second;
+  advance(p, mem_->on_release(p, clock_[idx]));
+  if (ls.waiters.empty()) {
+    ls.held = false;
+    ls.holder = -1;
+  } else {
+    // Grant to the earliest request in virtual time (ties by processor id).
+    auto best = std::min_element(ls.waiters.begin(), ls.waiters.end());
+    const int w = best->second;
+    ls.waiters.erase(best);
+    ls.holder = w;
+    const auto widx = static_cast<std::size_t>(w);
+    clock_[widx] = std::max(clock_[widx], clock_[idx]);
+    set_active(w);
+    lock_granted_[widx] = 1;
+  }
+}
+
 void SimContext::op_barrier(int p) {
   const auto idx = static_cast<std::size_t>(p);
-  std::unique_lock<std::mutex> l(m_);
+  OpLock l(*this);
   flush_pending(p);
   ++stats_[idx].barriers;
   wait_for_turn(l, p);
   advance(p, mem_->on_barrier_arrive(p, clock_[idx]));
   barrier_arrival_[idx] = clock_[idx];
-  status_[idx] = Status::kInBarrier;
+  leave_active(p, Status::kInBarrier);
   ++barrier_arrived_;
   const std::uint64_t gen = barrier_generation_;
-  if (maybe_release_barrier()) {
-    wake_all();
-  } else {
-    wake_min();
-    turn_cv_[idx].wait(l, [this, gen] { return barrier_generation_ != gen; });
-  }
+  if (!maybe_release_barrier()) wait_barrier_release(l, p, gen);
   // Departure protocol in deterministic order (all clocks equal, id breaks
   // the tie).
   wait_for_turn(l, p);
   advance(p, mem_->on_barrier_depart(p, clock_[idx]));
-  wake_min();
 }
 
 void SimContext::op_begin_phase(int p, Phase ph) {
   const auto idx = static_cast<std::size_t>(p);
-  std::unique_lock<std::mutex> l(m_);
+  OpLock l(*this);
   flush_pending(p);
   stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
@@ -270,15 +395,13 @@ void SimProc::lock(const void* addr) { ctx_->op_lock(self_, addr); }
 void SimProc::unlock(const void* addr) { ctx_->op_unlock(self_, addr); }
 
 std::int64_t SimProc::fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v) {
-  std::unique_lock<std::mutex> l(ctx_->m_);
+  SimContext::OpLock l(*ctx_);
   ctx_->flush_pending(self_);
   ++ctx_->stats_[static_cast<std::size_t>(self_)].fetch_adds;
   ctx_->wait_for_turn(l, self_);
   ctx_->advance(self_, ctx_->mem_->on_rmw(self_, &ctr,
                                           ctx_->clock_[static_cast<std::size_t>(self_)]));
-  const std::int64_t old = ctr.fetch_add(v, std::memory_order_relaxed);
-  ctx_->wake_min();
-  return old;
+  return ctr.fetch_add(v, std::memory_order_relaxed);
 }
 
 void SimProc::barrier() { ctx_->op_barrier(self_); }

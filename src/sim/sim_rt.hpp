@@ -1,13 +1,37 @@
 // SimRT: execution-driven discrete-event simulation runtime.
 //
-// The same algorithm code that runs under NativeRT runs here on real host
-// threads, but every annotated shared-memory operation is (a) charged to a
-// per-processor *virtual clock* by the platform's protocol model and
-// (b) globally ordered: a processor may only perform its next ordered
-// operation when its virtual clock is the minimum over all processors that
-// could still act (conservative PDES). Locks queue in virtual time, so lock
-// contention, critical-section dilation by page faults, and barrier imbalance
-// all emerge mechanically rather than being scripted.
+// The same algorithm code that runs under NativeRT runs here, but every
+// annotated shared-memory operation is (a) charged to a per-processor
+// *virtual clock* by the platform's protocol model and (b) globally ordered:
+// a processor may only perform its next ordered operation when its virtual
+// clock is the minimum over all processors that could still act
+// (conservative PDES). Locks queue in virtual time, so lock contention,
+// critical-section dilation by page faults, and barrier imbalance all emerge
+// mechanically rather than being scripted.
+//
+// Two interchangeable backends execute the SPMD body (SimBackend):
+//
+//  * kFibers (default): every simulated processor is a stackful fiber on ONE
+//    host thread; the scheduler resumes exactly the fiber whose clock is the
+//    virtual-time minimum (an indexed min-heap keyed by (clock, proc)), so
+//    an ordered operation costs a user-space context switch at worst and a
+//    heap update at best — no mutex, no condition variables, no OS scheduler
+//    in the loop, and determinism by construction.
+//  * kThreads: one host thread per simulated processor, kept as a
+//    cross-check. The same scheduling discipline is enforced with a run
+//    token: a thread executes (host code included) only while it holds the
+//    token, and every wait point hands the token to the heap top with a
+//    mutex + condition-variable signal. Serializing the host execution is
+//    not just about the ordering ops: algorithm code legitimately reads
+//    shared tree state outside any simulated lock (races resolved in
+//    *virtual* time), and letting host threads overlap for real would let
+//    the OS scheduler pick which side of such a race each run observes.
+//
+// Both backends implement the same virtual-time state machine with the same
+// (clock, processor-id) tie-break and the same run-to-wait-point execution
+// order, so they produce bit-identical virtual times, lock counts and
+// per-phase statistics; the test suite asserts this
+// (tests/test_sim_backend_equiv.cpp).
 //
 // Determinism: given a fixed platform, processor count and input, repeated
 // runs produce bit-identical virtual times and statistics (ties in virtual
@@ -16,8 +40,9 @@
 // Fast path: read_shared() skips global ordering — it is only legal in phases
 // where the touched data is not written (the force phase reading the tree),
 // and the protocol models confine themselves to per-processor state plus
-// commutative atomics there. Its cost accumulates in a thread-local "pending"
-// bucket that is folded into the virtual clock at the next ordered operation.
+// commutative atomics there. Its cost accumulates in a per-processor
+// "pending" bucket that is folded into the virtual clock at the next ordered
+// operation.
 #pragma once
 
 #include <atomic>
@@ -26,14 +51,30 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "mem/model.hpp"
 #include "platform/spec.hpp"
 #include "rt/phase.hpp"
+#include "sim/fiber.hpp"
+#include "sim/turn_heap.hpp"
 
 namespace ptb {
+
+/// How SimContext::run executes the simulated processors.
+enum class SimBackend { kFibers, kThreads };
+
+/// Reads PTB_SIM_BACKEND ("fibers" | "threads") from the environment;
+/// defaults to kFibers. Lets CI sweep the whole test suite across backends
+/// without touching every construction site.
+SimBackend default_sim_backend();
+
+const char* to_string(SimBackend b);
+
+/// Parses "fibers" / "threads" (aborts on anything else).
+SimBackend sim_backend_from_string(const std::string& s);
 
 class SimContext;
 
@@ -49,11 +90,11 @@ class SimProc {
   void write(const void* p, std::size_t n);
   void read_shared(const void* p, std::size_t n);
 
-  /// Combined charge + ACTUAL load/store of a shared atomic, executed under
-  /// the global ordering lock at this processor's virtual-time turn. This is
-  /// what makes data-dependent control flow on racy fields (a cell's kind,
-  /// child slots, the body->leaf map) deterministic: the value read is
-  /// exactly the state after all operations with earlier virtual time.
+  /// Combined charge + ACTUAL load/store of a shared atomic, executed at
+  /// this processor's virtual-time turn. This is what makes data-dependent
+  /// control flow on racy fields (a cell's kind, child slots, the body->leaf
+  /// map) deterministic: the value read is exactly the state after all
+  /// operations with earlier virtual time.
   template <class T>
   T ordered_load(const std::atomic<T>& a, const void* charge_addr, std::size_t n);
   template <class T>
@@ -74,10 +115,12 @@ class SimContext {
  public:
   using Proc = SimProc;
 
-  SimContext(const PlatformSpec& spec, int nprocs);
+  SimContext(const PlatformSpec& spec, int nprocs,
+             SimBackend backend = default_sim_backend());
   ~SimContext();
 
   int nprocs() const { return nprocs_; }
+  SimBackend backend() const { return backend_; }
   const PlatformSpec& spec() const { return spec_; }
   MemModel& mem() { return *mem_; }
 
@@ -85,24 +128,23 @@ class SimContext {
   void register_region(const void* base, std::size_t bytes, HomePolicy policy,
                        int fixed_home, std::string name);
 
-  /// Runs f(SimProc&) SPMD on nprocs host threads, joining them all.
+  /// Runs f(SimProc&) SPMD on nprocs simulated processors, returning when
+  /// all of them finish.
   template <class F>
   void run(F&& f) {
     run_impl([&f](SimProc& proc) { f(proc); });
   }
 
   /// Charges a read/write of [addr, addr+n) at processor p's turn and runs
-  /// `f()` under the ordering lock (see SimProc::ordered_load).
+  /// `f()` inside the ordering section (see SimProc::ordered_load).
   template <class F>
   auto ordered_apply(int p, const void* addr, std::size_t n, bool is_write, F&& f) {
-    std::unique_lock<std::mutex> l(m_);
+    OpLock l(*this);
     flush_pending(p);
     wait_for_turn(l, p);
     const auto now = clock_[static_cast<std::size_t>(p)];
     advance(p, is_write ? mem_->on_write(p, addr, n, now) : mem_->on_read(p, addr, n, now));
-    auto result = f();
-    wake_min();
-    return result;
+    return f();
   }
 
   // --- results ---
@@ -126,23 +168,56 @@ class SimContext {
     // Waiters with their virtual request times; the earliest request is
     // granted at release (FIFO in virtual time, ties by processor id).
     std::vector<std::pair<std::uint64_t, int>> waiters;
-    std::uint64_t granted_to = 0;  // generation counter for wakeups
+  };
+
+  /// Scoped ordering-section guard: takes the global mutex in the threads
+  /// backend, is free in the fiber backend (one host thread, no concurrency).
+  struct OpLock {
+    explicit OpLock(SimContext& c) {
+      if (c.backend_ == SimBackend::kThreads) l = std::unique_lock<std::mutex>(c.m_);
+    }
+    std::unique_lock<std::mutex> l;
   };
 
   void run_impl(const std::function<void(SimProc&)>& f);
+  void run_threads(const std::function<void(SimProc&)>& f);
+  void run_fibers(const std::function<void(SimProc&)>& f);
+  void reset_run_state();
+  /// End-of-body bookkeeping shared by both backends: fold pending cost,
+  /// close the phase attribution, retire the processor.
+  void finish_proc(int p);
 
-  // All of the below require m_ held.
-  bool is_min_active(int p) const;
-  void wait_for_turn(std::unique_lock<std::mutex>& l, int p);
+  // --- scheduling core (requires the ordering section) ---
+  /// Blocks processor p until it is the (clock, id) minimum of the Active
+  /// set, yielding to the heap top meanwhile.
+  void wait_for_turn(OpLock& l, int p);
+  /// Waits until lock_granted_[p] is set by a releaser.
+  void wait_lock_grant(OpLock& l, int p);
+  /// Waits until the barrier generation moves past `gen`.
+  void wait_barrier_release(OpLock& l, int p, std::uint64_t gen);
+  /// Hands execution to the heap top and blocks until p is resumed: fiber
+  /// switch in the fiber backend, token handoff + condvar sleep in the
+  /// threads backend. The single yield primitive under all three waits.
+  void yield_turn(OpLock& l, int p);
+  /// Threads backend: transfers the run token to the heap top (or back to
+  /// the host context when everyone is done) and signals the new owner.
+  void pass_token(int me);
   void flush_pending(int p);
   void advance(int p, std::uint64_t cost);
+  /// Re-admits p to the Active set (lock grant, barrier release).
+  void set_active(int p);
+  /// Removes p from the Active set with the given blocked/done status.
+  void leave_active(int p, Status s);
   int alive_count() const;
   bool maybe_release_barrier();
-  /// Wakes the processor that is now the minimum over Active clocks (no-op if
-  /// it isn't sleeping). Must be called after any clock_/status_ mutation.
-  void wake_min();
-  /// Wakes every processor (barrier release, completion).
-  void wake_all();
+
+  // --- fiber backend ---
+  static constexpr int kHostContext = -1;
+  static void fiber_entry(void* arg);
+  void fiber_body(int p);
+  /// Switches from the currently running fiber to the heap top (or, with an
+  /// empty heap at end of run, back to the host context).
+  void fiber_reschedule();
 
   // Operation implementations (called by SimProc).
   void op_ordered(int p, std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
@@ -155,24 +230,41 @@ class SimContext {
 
   PlatformSpec spec_;
   int nprocs_;
+  SimBackend backend_;
   std::unique_ptr<MemModel> mem_;
 
+  /// The Active set ordered by (virtual clock, processor id): top() is the
+  /// one processor allowed past its next ordering point. Maintained by every
+  /// clock/status mutation in both backends.
+  TurnHeap heap_;
+
+  // Threads backend: the global ordering mutex and per-processor condition
+  // variables; running_ doubles as the run token (only its owner executes).
   std::mutex m_;
-  /// Barrier-generation / lock-grant wakeups go through per-processor
-  /// condition variables plus directed wake_min() signalling: on any state
-  /// change only the processor that is now the virtual-time minimum is woken,
-  /// instead of a notify_all stampede over every sleeping thread.
   std::unique_ptr<std::condition_variable[]> turn_cv_;
+
+  // Fiber backend: one stackful fiber per simulated processor plus the host
+  // thread's anchor context; running_ is the processor currently executing
+  // (shared with the threads backend as the token).
+  struct FiberArg {
+    SimContext* ctx;
+    int proc;
+  };
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<FiberArg> fiber_args_;
+  Fiber host_ctx_;
+  int running_ = kHostContext;
+  const std::function<void(SimProc&)>* body_ = nullptr;
+
   std::vector<std::uint64_t> clock_;
   std::vector<Status> status_;
-  std::vector<std::uint64_t> pending_;  // written only by the owning thread
+  std::vector<std::uint64_t> pending_;  // written only by the owning processor
   std::vector<std::uint8_t> lock_granted_;
   std::unordered_map<const void*, LockState> locks_;
 
   // Barrier state.
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
-  std::uint64_t barrier_release_ns_ = 0;
   std::vector<std::uint64_t> barrier_arrival_;
 
   // Phase accounting.

@@ -1,0 +1,120 @@
+// Indexed binary min-heap over processor ids, keyed by (virtual clock, id).
+//
+// The conservative DES scheduler's inner question — "which Active processor
+// holds the virtual-time minimum?" — was an O(P) scan per ordered operation
+// (the old is_min_active/wake_min pair). This heap answers top() in O(1) and
+// absorbs every clock advance, block and unblock in O(log P). Ties break
+// toward the smaller processor id, which is the simulator's documented
+// determinism rule, so the heap order IS the execution order.
+//
+// The heap contains exactly the processors in Status::kActive; blocked and
+// finished processors are removed and re-pushed on wakeup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ptb {
+
+class TurnHeap {
+ public:
+  /// Empties the heap and sizes it for processors [0, nprocs).
+  void init(int nprocs) {
+    key_.assign(static_cast<std::size_t>(nprocs), 0);
+    pos_.assign(static_cast<std::size_t>(nprocs), -1);
+    heap_.clear();
+    heap_.reserve(static_cast<std::size_t>(nprocs));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  int size() const { return static_cast<int>(heap_.size()); }
+
+  /// Processor with the minimum (clock, id), or -1 if the heap is empty.
+  int top() const { return heap_.empty() ? -1 : heap_[0]; }
+
+  bool contains(int p) const { return pos_[static_cast<std::size_t>(p)] >= 0; }
+
+  std::uint64_t key_of(int p) const { return key_[static_cast<std::size_t>(p)]; }
+
+  void push(int p, std::uint64_t key) {
+    const auto pi = static_cast<std::size_t>(p);
+    PTB_DCHECK(pos_[pi] < 0);
+    key_[pi] = key;
+    pos_[pi] = static_cast<int>(heap_.size());
+    heap_.push_back(p);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Re-keys processor p in place (clock advances only ever grow the key,
+  /// but both directions are handled).
+  void update(int p, std::uint64_t key) {
+    const auto pi = static_cast<std::size_t>(p);
+    PTB_DCHECK(pos_[pi] >= 0);
+    key_[pi] = key;
+    const auto i = static_cast<std::size_t>(pos_[pi]);
+    if (!sift_down(i)) sift_up(i);
+  }
+
+  void remove(int p) {
+    const auto pi = static_cast<std::size_t>(p);
+    PTB_DCHECK(pos_[pi] >= 0);
+    const auto i = static_cast<std::size_t>(pos_[pi]);
+    const int last = heap_.back();
+    heap_.pop_back();
+    pos_[pi] = -1;
+    if (i < heap_.size()) {
+      heap_[i] = last;
+      pos_[static_cast<std::size_t>(last)] = static_cast<int>(i);
+      if (!sift_down(i)) sift_up(i);
+    }
+  }
+
+ private:
+  bool before(int a, int b) const {
+    const auto ka = key_[static_cast<std::size_t>(a)];
+    const auto kb = key_[static_cast<std::size_t>(b)];
+    return ka != kb ? ka < kb : a < b;
+  }
+
+  void place(std::size_t i, int p) {
+    heap_[i] = p;
+    pos_[static_cast<std::size_t>(p)] = static_cast<int>(i);
+  }
+
+  void sift_up(std::size_t i) {
+    const int p = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(p, heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, p);
+  }
+
+  /// Returns true if the element moved down.
+  bool sift_down(std::size_t i) {
+    const int p = heap_[i];
+    const std::size_t n = heap_.size();
+    bool moved = false;
+    for (;;) {
+      std::size_t kid = 2 * i + 1;
+      if (kid >= n) break;
+      if (kid + 1 < n && before(heap_[kid + 1], heap_[kid])) ++kid;
+      if (!before(heap_[kid], p)) break;
+      place(i, heap_[kid]);
+      i = kid;
+      moved = true;
+    }
+    place(i, p);
+    return moved;
+  }
+
+  std::vector<std::uint64_t> key_;  // key per processor id
+  std::vector<int> heap_;           // heap of processor ids
+  std::vector<int> pos_;            // processor id -> heap index, -1 if absent
+};
+
+}  // namespace ptb

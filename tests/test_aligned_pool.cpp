@@ -77,7 +77,7 @@ TEST(NodePool, MoveTransfersOwnership) {
 }
 
 TEST(NodePoolDeath, ExhaustionAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   NodePool pool;
   pool.init(1);
   pool.take();

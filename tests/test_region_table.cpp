@@ -105,5 +105,47 @@ TEST(RegionTable, BlockHomeReverseLookup) {
   EXPECT_EQ(t.block_home(r.block, 3), r.home);
 }
 
+TEST(RegionTable, BlockHomeWhenRegistrationOrderDiffersFromAddressOrder) {
+  // Global block indices follow registration order, while the region list is
+  // kept sorted by base address. Registering the higher-addressed region
+  // first makes the two orders disagree, which is exactly the case the
+  // first_block-sorted lookup index exists for.
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 8];
+  t.add(buf + 64 * 4, 64 * 4, HomePolicy::kInterleavedBlock, 0, "high", 3);
+  t.add(buf, 64 * 4, HomePolicy::kFixed, 2, "low", 3);
+  for (std::size_t off = 0; off < sizeof(buf); off += 64) {
+    const auto r = t.resolve(buf + off, 3);
+    ASSERT_TRUE(r.shared);
+    EXPECT_EQ(t.block_home(r.block, 3), r.home) << "offset " << off;
+  }
+  EXPECT_EQ(t.total_blocks(), 8u);
+}
+
+TEST(RegionTable, VirtualOffsetIsRegistrationRelative) {
+  // The virtual offset must depend only on registration order and position
+  // within the region — never on the regions' absolute addresses — so that
+  // sub-block grids derived from it (the HLRC local cache's 64 B lines) give
+  // bit-identical costs no matter where the allocator placed the regions.
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 8];
+  t.add(buf + 64 * 4, 64 * 4, HomePolicy::kFixed, 0, "first", 2);
+  t.add(buf, 64 * 2, HomePolicy::kFixed, 1, "second", 2);
+  std::size_t off = 0;
+  // First-registered region starts the virtual space at 0...
+  ASSERT_TRUE(t.virtual_offset(buf + 64 * 4, off));
+  EXPECT_EQ(off, 0u);
+  // ...offsets within a region advance byte by byte...
+  ASSERT_TRUE(t.virtual_offset(buf + 64 * 4 + 67, off));
+  EXPECT_EQ(off, 67u);
+  // ...and the next registration continues after the previous blocks.
+  ASSERT_TRUE(t.virtual_offset(buf + 1, off));
+  EXPECT_EQ(off, 64u * 4 + 1);
+  int x = 0;
+  EXPECT_FALSE(t.virtual_offset(&x, off));
+}
+
 }  // namespace
 }  // namespace ptb
