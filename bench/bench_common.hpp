@@ -23,10 +23,21 @@
 
 namespace ptb::bench {
 
+// Build provenance (stamped by the top-level CMakeLists; fall back so the
+// header also compiles standalone).
+#ifndef PTB_GIT_SHA
+#define PTB_GIT_SHA "unknown"
+#endif
+#ifndef PTB_BUILD_TYPE
+#define PTB_BUILD_TYPE "unknown"
+#endif
+
 /// Machine-readable result sink behind the --json=<path> flag: every
 /// measured cell is appended as one flat object (config strings + numeric
 /// measurements), and save() writes the whole array. The files accumulate
-/// the perf trajectory across PRs (e.g. BENCH_sched.json).
+/// the perf trajectory across PRs (e.g. BENCH_sched.json), so each row
+/// carries a provenance prefix (git SHA, build type, backend, sweep shape)
+/// set once via context() and prepended to every row at save().
 class JsonReport {
  public:
   /// Exits (2) if the path is not writable — fail before the (possibly
@@ -43,6 +54,12 @@ class JsonReport {
     path_ = std::move(path);
   }
   bool enabled() const { return !path_.empty(); }
+
+  /// Run-wide provenance key; prepended (in insertion order) to every row.
+  JsonReport& context(const std::string& key, const std::string& v) {
+    context_.emplace_back(key, "\"" + escaped(v) + "\"");
+    return *this;
+  }
 
   JsonReport& row() {
     rows_.emplace_back();
@@ -71,9 +88,13 @@ class JsonReport {
     std::fprintf(f, "[\n");
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "  {");
-      for (std::size_t i = 0; i < rows_[r].size(); ++i)
-        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ", rows_[r][i].first.c_str(),
-                     rows_[r][i].second.c_str());
+      std::size_t col = 0;
+      for (const auto& kv : context_)
+        std::fprintf(f, "%s\"%s\": %s", col++ == 0 ? "" : ", ", kv.first.c_str(),
+                     kv.second.c_str());
+      for (const auto& kv : rows_[r])
+        std::fprintf(f, "%s\"%s\": %s", col++ == 0 ? "" : ", ", kv.first.c_str(),
+                     kv.second.c_str());
       std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
     }
     std::fprintf(f, "]\n");
@@ -92,6 +113,7 @@ class JsonReport {
   }
 
   std::string path_;
+  std::vector<std::pair<std::string, std::string>> context_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
@@ -132,6 +154,11 @@ inline BenchOptions parse_options(int argc, char** argv, const std::string& defa
       cli.get_string("json", "", "also write results to this JSON file");
   opt.json.set_path(json_path);
   cli.finish();
+  opt.json.context("git_sha", PTB_GIT_SHA)
+      .context("build_type", PTB_BUILD_TYPE)
+      .context("backend", to_string(opt.backend))
+      .context("sizes", sizes)
+      .context("procs", procs);
   // Parse the comma-separated lists.
   auto parse_list = [](const std::string& v) {
     std::vector<std::int64_t> out;

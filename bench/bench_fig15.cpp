@@ -14,21 +14,70 @@ int main(int argc, char** argv) {
   ExperimentRunner runner;
   const int np = static_cast<int>(opt.procs[0]);
   const int n = static_cast<int>(opt.sizes[0]);
+  constexpr int kHistBuckets = 8;
   for (const std::string platform : {"typhoon0_hlrc", "origin2000"}) {
     Table t("Fig 15: locks per processor, " + platform + ", n=" + size_label(n) + ", " +
             std::to_string(opt.measured) + " steps");
     std::vector<std::string> header = {"algorithm", "total"};
     for (int p = 0; p < np; ++p) header.push_back("P" + std::to_string(p));
     t.set_header(header);
+    struct Row {
+      Algorithm alg;
+      std::vector<std::uint64_t> locks;
+    };
+    std::vector<Row> rows;
+    std::uint64_t max_locks = 0;
     for (Algorithm alg : all_algorithms()) {
       const auto r = runner.run(make_spec(platform, alg, n, np, opt));
       std::vector<std::string> row = {algorithm_name(alg),
                                       std::to_string(r.treebuild_locks_total)};
-      for (auto locks : r.treebuild_locks_per_proc) row.push_back(std::to_string(locks));
+      for (auto locks : r.treebuild_locks_per_proc) {
+        row.push_back(std::to_string(locks));
+        max_locks = std::max(max_locks, locks);
+      }
       t.add_row(row);
+      rows.push_back({alg, r.treebuild_locks_per_proc});
     }
     t.print();
     std::printf("\n");
+
+    // Distribution view: how evenly the lock traffic spreads over the
+    // processors (a shared histogram range so algorithms are comparable).
+    const double hi = static_cast<double>(max_locks) + 1.0;
+    Table ht("Fig 15: locks-per-processor distribution, " + platform);
+    std::vector<std::string> hh = {"algorithm"};
+    {
+      const Histogram edges(0.0, hi, kHistBuckets);
+      for (int b = 0; b < kHistBuckets; ++b)
+        hh.push_back("[" + std::to_string(static_cast<std::uint64_t>(edges.bucket_lo(b))) +
+                     "," + std::to_string(static_cast<std::uint64_t>(edges.bucket_hi(b))) +
+                     ")");
+    }
+    ht.set_header(hh);
+    for (const Row& row : rows) {
+      Histogram h(0.0, hi, kHistBuckets);
+      for (auto locks : row.locks) h.add(static_cast<double>(locks));
+      std::vector<std::string> cells = {algorithm_name(row.alg)};
+      for (int b = 0; b < kHistBuckets; ++b)
+        cells.push_back(std::to_string(h.bucket_count(b)));
+      ht.add_row(cells);
+
+      std::uint64_t total = 0;
+      for (auto locks : row.locks) total += locks;
+      auto& jr = opt.json.row()
+                     .field("figure", std::string("fig15"))
+                     .field("platform", platform)
+                     .field("algorithm", std::string(algorithm_name(row.alg)))
+                     .field("n", static_cast<std::int64_t>(n))
+                     .field("procs", static_cast<std::int64_t>(np))
+                     .field("locks_total", static_cast<std::int64_t>(total));
+      for (int b = 0; b < kHistBuckets; ++b)
+        jr.field("hist_b" + std::to_string(b),
+                 static_cast<std::int64_t>(h.bucket_count(b)));
+    }
+    ht.print();
+    std::printf("\n");
   }
+  opt.json.save();
   return 0;
 }

@@ -16,12 +16,22 @@ int main(int argc, char** argv) {
   std::vector<std::string> header = {"algorithm"};
   for (auto n : opt.sizes) header.push_back(size_label(n));
   t.set_header(header);
+  // Paper-style busy / memory / sync decomposition (per-processor average,
+  // derived from the run's metrics registry) at the largest size.
+  Table bdt("Fig 6: execution-time breakdown, n=" + size_label(opt.sizes.back()));
+  bdt.set_header({"algorithm", "busy", "memory", "lock", "barrier"});
   for (Algorithm alg : all_algorithms()) {
     std::vector<std::string> row = {algorithm_name(alg)};
     for (auto n : opt.sizes) {
       WallTimer wall;
       const auto r = runner.run(make_spec("challenge", alg, static_cast<int>(n), np, opt));
       row.push_back(fmt_speedup(r.speedup));
+      const Breakdown bd = breakdown_from(r.metrics, np);
+      if (n == opt.sizes.back())
+        bdt.add_row({algorithm_name(alg), fmt_percent(bd.frac(bd.busy_s)),
+                     fmt_percent(bd.frac(bd.mem_stall_s)),
+                     fmt_percent(bd.frac(bd.lock_wait_s)),
+                     fmt_percent(bd.frac(bd.barrier_wait_s))});
       opt.json.row()
           .field("figure", std::string("fig6"))
           .field("platform", std::string("challenge"))
@@ -31,11 +41,17 @@ int main(int argc, char** argv) {
           .field("backend", to_string(opt.backend))
           .field("speedup", r.speedup)
           .field("virtual_ns", r.run.total_ns)
+          .field("busy_s", bd.busy_s)
+          .field("mem_stall_s", bd.mem_stall_s)
+          .field("lock_wait_s", bd.lock_wait_s)
+          .field("barrier_wait_s", bd.barrier_wait_s)
           .field("host_seconds", wall.seconds());
     }
     t.add_row(row);
   }
   t.print();
+  std::printf("\n");
+  bdt.print();
   opt.json.save();
   return 0;
 }

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
 
   JsonReport json;
   json.set_path(json_path);
+  json.context("git_sha", PTB_GIT_SHA).context("build_type", PTB_BUILD_TYPE);
 
   MicroResult best[2];
   const SimBackend backends[2] = {SimBackend::kFibers, SimBackend::kThreads};

@@ -10,11 +10,13 @@
 //     ./examples/ptbsim --platform typhoon0_hlrc --algorithm $a --n 16384 --csv
 //   done
 #include <cstdio>
+#include <memory>
 
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "trace/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace ptb;
@@ -40,7 +42,15 @@ int main(int argc, char** argv) {
                             : Partitioner::kCostzones;
   const bool csv = cli.get_bool("csv", false, "emit one CSV line instead of tables");
   const bool csv_header = cli.get_bool("csv-header", false, "print the CSV header line");
+  const std::string trace_path = trace::trace_path_from(cli.get_string(
+      "trace", "", "write a Chrome trace-event JSON here (or set PTB_TRACE)"));
   cli.finish();
+
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<trace::Tracer>(spec.nprocs);
+    spec.tracer = tracer.get();
+  }
 
   if (csv_header) {
     std::printf("platform,algorithm,n,procs,seq_s,par_s,speedup,treebuild_s,"
@@ -51,6 +61,13 @@ int main(int argc, char** argv) {
 
   ExperimentRunner runner;
   const ExperimentResult r = runner.run(spec);
+
+  if (tracer != nullptr) {
+    if (!tracer->write_chrome_json(trace_path)) return 1;
+    std::fprintf(stderr, "wrote %llu trace events to %s (load in Perfetto)\n",
+                 static_cast<unsigned long long>(tracer->total_events()),
+                 trace_path.c_str());
+  }
 
   if (csv) {
     std::printf("%s,%s,%d,%d,%.6f,%.6f,%.3f,%.6f,%.4f,%.3f,%llu,%.6f,%.6f,%llu,%llu,%llu\n",
@@ -77,11 +94,25 @@ int main(int argc, char** argv) {
   }
   phases.print();
 
+  const Breakdown bd = breakdown_from(r.metrics, spec.nprocs);
+  Table breakdown("execution-time breakdown (per-processor average, measured steps)");
+  breakdown.set_header({"component", "seconds", "share"});
+  breakdown.add_row({"busy", Table::num(bd.busy_s, 4), fmt_percent(bd.frac(bd.busy_s))});
+  breakdown.add_row(
+      {"memory stall", Table::num(bd.mem_stall_s, 4), fmt_percent(bd.frac(bd.mem_stall_s))});
+  breakdown.add_row(
+      {"lock wait", Table::num(bd.lock_wait_s, 4), fmt_percent(bd.frac(bd.lock_wait_s))});
+  breakdown.add_row({"barrier wait", Table::num(bd.barrier_wait_s, 4),
+                     fmt_percent(bd.frac(bd.barrier_wait_s))});
+  breakdown.print();
+
   Table sync("synchronization & memory-system events (whole run)");
   sync.set_header({"metric", "value"});
   sync.add_row({"tree-build lock acquisitions", std::to_string(r.treebuild_locks_total)});
   sync.add_row({"mean lock wait / proc", fmt_seconds(r.lock_wait_seconds_avg)});
   sync.add_row({"mean barrier wait / proc", fmt_seconds(r.barrier_wait_seconds_avg)});
+  sync.add_row({"lock wait / event", fmt_wait(r.lock_wait)});
+  sync.add_row({"barrier wait / episode", fmt_wait(r.barrier_wait)});
   sync.add_row({"page faults", std::to_string(r.mem.page_faults)});
   sync.add_row({"twins / diffs", std::to_string(r.mem.twins) + " / " +
                                      std::to_string(r.mem.diffs)});

@@ -74,6 +74,41 @@ RunResult dispatch(const PlatformSpec& platform, const ExperimentSpec& spec) {
 
 }  // namespace
 
+void ingest_run_metrics(trace::MetricsRegistry& reg, const std::vector<ProcStats>& stats,
+                        const MemModel* mem) {
+  for (int p = 0; p < static_cast<int>(stats.size()); ++p) {
+    const ProcStats& ps = stats[static_cast<std::size_t>(p)];
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      const trace::Labels l = trace::proc_phase_label(p, phase_name(static_cast<Phase>(ph)));
+      reg.add("time.phase_ns", l, ps.phase_ns[ph]);
+      reg.add("time.mem_stall_ns", l, ps.mem_stall_ns[ph]);
+      reg.add("sync.lock_wait_ns", l, ps.lock_wait_phase_ns[ph]);
+      reg.add("sync.barrier_wait_ns", l, ps.barrier_wait_phase_ns[ph]);
+      reg.add("sync.lock_acquires", l, static_cast<double>(ps.lock_acquires[ph]));
+    }
+    const trace::Labels lp = trace::proc_label(p);
+    reg.add("sync.barriers", lp, static_cast<double>(ps.barriers));
+    reg.add("sync.fetch_adds", lp, static_cast<double>(ps.fetch_adds));
+    reg.record_all("sync.lock_wait_event_ns", lp, ps.lock_wait_events);
+    reg.record_all("sync.barrier_wait_event_ns", lp, ps.barrier_wait_events);
+    if (mem != nullptr) {
+      const MemProcStats& ms = mem->proc_stats(p);
+      for (const MemCounterDesc& c : kMemCounters)
+        reg.add(std::string("mem.") + c.metric, lp, static_cast<double>(ms.*c.field));
+    }
+  }
+}
+
+WaitSummary wait_summary(const Distribution& d) {
+  WaitSummary w;
+  w.events = d.count();
+  if (w.events == 0) return w;
+  w.mean_s = d.stat().mean() * 1e-9;
+  w.max_s = d.stat().max() * 1e-9;
+  w.p95_s = d.p95() * 1e-9;
+  return w;
+}
+
 ExperimentRunner::Baseline ExperimentRunner::baseline(const ExperimentSpec& spec) {
   const std::string key = baseline_key(spec);
   auto it = baseline_cache_.find(key);
@@ -110,6 +145,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
 
   AppState st = make_app_state(effective_bh(spec), spec.nprocs);
   SimContext ctx(platform, spec.nprocs, spec.backend);
+  if (spec.tracer != nullptr) {
+    spec.tracer->set_clock_domain("virtual");
+    ctx.set_tracer(spec.tracer);
+  }
 
   ExperimentResult out;
   {
@@ -153,18 +192,24 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
       out.treebuild_seconds > 0.0 ? out.treebuild_seq_seconds / out.treebuild_seconds : 0.0;
   out.treebuild_fraction = out.run.treebuild_fraction();
 
-  double bw = 0.0, lw = 0.0;
-  for (const auto& ps : out.run.proc_stats) {
-    bw += ps.barrier_wait_ns;
-    lw += ps.lock_wait_ns;
-    out.treebuild_locks_per_proc.push_back(
-        ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)]);
-    out.treebuild_locks_total += ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)];
+  // Everything below is *derived* from the metrics registry — the scalar
+  // fields are conveniences over the same data benches can query directly.
+  ingest_run_metrics(out.metrics, out.run.proc_stats, &ctx.mem());
+  const char* tb = phase_name(Phase::kTreeBuild);
+  for (int p = 0; p < static_cast<int>(out.run.proc_stats.size()); ++p) {
+    const double acq =
+        out.metrics.value("sync.lock_acquires", trace::proc_phase_label(p, tb));
+    out.treebuild_locks_per_proc.push_back(static_cast<std::uint64_t>(acq));
+    out.treebuild_locks_total += static_cast<std::uint64_t>(acq);
   }
   const double np = static_cast<double>(out.run.proc_stats.size());
-  out.barrier_wait_seconds_avg = bw * 1e-9 / np;
-  out.lock_wait_seconds_avg = lw * 1e-9 / np;
-  out.mem = ctx.mem().total_stats();
+  out.barrier_wait_seconds_avg = out.metrics.sum("sync.barrier_wait_ns") * 1e-9 / np;
+  out.lock_wait_seconds_avg = out.metrics.sum("sync.lock_wait_ns") * 1e-9 / np;
+  out.lock_wait = wait_summary(out.metrics.merged("sync.lock_wait_event_ns"));
+  out.barrier_wait = wait_summary(out.metrics.merged("sync.barrier_wait_event_ns"));
+  for (const MemCounterDesc& c : kMemCounters)
+    out.mem.*c.field = static_cast<std::uint64_t>(
+        out.metrics.sum(std::string("mem.") + c.metric));
   return out;
 }
 

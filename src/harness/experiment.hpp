@@ -10,6 +10,8 @@
 #include "harness/app.hpp"
 #include "mem/model.hpp"
 #include "sim/sim_rt.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "treebuild/types.hpp"
 
 namespace ptb {
@@ -24,7 +26,18 @@ struct ExperimentSpec {
   /// Scheduler backend of the simulator (fibers by default; threads is the
   /// cross-check backend — both produce bit-identical results).
   SimBackend backend = default_sim_backend();
+  /// Optional event tracer attached to the parallel run (never the
+  /// sequential baseline). Must outlive the run; null = tracing off.
+  trace::Tracer* tracer = nullptr;
   BHConfig bh;  // n is overwritten from `n`
+};
+
+/// Per-event wait-time statistics (merged over all processors).
+struct WaitSummary {
+  std::uint64_t events = 0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  double p95_s = 0.0;
 };
 
 struct ExperimentResult {
@@ -40,13 +53,27 @@ struct ExperimentResult {
   // Synchronization.
   double barrier_wait_seconds_avg = 0.0;  // mean per-processor barrier wait
   double lock_wait_seconds_avg = 0.0;
+  WaitSummary lock_wait;     // per contended acquisition
+  WaitSummary barrier_wait;  // per barrier episode
   std::vector<std::uint64_t> treebuild_locks_per_proc;
   std::uint64_t treebuild_locks_total = 0;
   // Memory-system event totals.
   MemProcStats mem;
   // Full per-phase breakdown.
   RunResult run;
+  /// Every scalar above is derived from this registry (the single source of
+  /// post-run measurements); benches query it for anything not pre-digested.
+  trace::MetricsRegistry metrics;
 };
+
+/// Populates `reg` from a run's per-processor accumulators: time.*, sync.*
+/// per (proc, phase) and mem.* per proc (when `mem` is non-null). The one
+/// place runtime accumulators are named into the metric schema.
+void ingest_run_metrics(trace::MetricsRegistry& reg, const std::vector<ProcStats>& stats,
+                        const MemModel* mem);
+
+/// Condenses a merged wait distribution into events/mean/max/p95 seconds.
+WaitSummary wait_summary(const Distribution& d);
 
 /// Runs experiments, caching the sequential baselines per (platform, BH
 /// parameters) so that sweeps over the five algorithms share one baseline.

@@ -27,13 +27,54 @@ std::string fmt_seconds(double s) {
   return buf;
 }
 
+Breakdown breakdown_from(const trace::MetricsRegistry& m, int nprocs) {
+  Breakdown b;
+  const double np = nprocs > 0 ? static_cast<double>(nprocs) : 1.0;
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    if (ph == static_cast<int>(Phase::kOther)) continue;  // warm-up
+    const trace::Labels f{{"phase", phase_name(static_cast<Phase>(ph))}};
+    b.total_s += m.sum("time.phase_ns", f);
+    b.mem_stall_s += m.sum("time.mem_stall_ns", f);
+    b.lock_wait_s += m.sum("sync.lock_wait_ns", f);
+    b.barrier_wait_s += m.sum("sync.barrier_wait_ns", f);
+  }
+  b.total_s *= 1e-9 / np;
+  b.mem_stall_s *= 1e-9 / np;
+  b.lock_wait_s *= 1e-9 / np;
+  b.barrier_wait_s *= 1e-9 / np;
+  b.busy_s = b.total_s - b.mem_stall_s - b.lock_wait_s - b.barrier_wait_s;
+  return b;
+}
+
+std::string fmt_breakdown(const Breakdown& b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "busy=%s mem=%s lock=%s barrier=%s",
+                fmt_percent(b.frac(b.busy_s)).c_str(),
+                fmt_percent(b.frac(b.mem_stall_s)).c_str(),
+                fmt_percent(b.frac(b.lock_wait_s)).c_str(),
+                fmt_percent(b.frac(b.barrier_wait_s)).c_str());
+  return buf;
+}
+
+std::string fmt_wait(const WaitSummary& w) {
+  if (w.events == 0) return "none";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "mean=%s max=%s p95=%s (x%llu)",
+                fmt_seconds(w.mean_s).c_str(), fmt_seconds(w.max_s).c_str(),
+                fmt_seconds(w.p95_s).c_str(),
+                static_cast<unsigned long long>(w.events));
+  return buf;
+}
+
 std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r) {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "%-13s %-8s n=%-7d p=%-3d seq=%s par=%s speedup=%s treebuild=%s",
+                "%-13s %-8s n=%-7d p=%-3d seq=%s par=%s speedup=%s treebuild=%s "
+                "lockwait[%s] barwait[%s]",
                 spec.platform.c_str(), algorithm_name(spec.algorithm), spec.n, spec.nprocs,
                 fmt_seconds(r.seq_seconds).c_str(), fmt_seconds(r.par_seconds).c_str(),
-                fmt_speedup(r.speedup).c_str(), fmt_percent(r.treebuild_fraction).c_str());
+                fmt_speedup(r.speedup).c_str(), fmt_percent(r.treebuild_fraction).c_str(),
+                fmt_wait(r.lock_wait).c_str(), fmt_wait(r.barrier_wait).c_str());
   return buf;
 }
 

@@ -15,6 +15,30 @@ std::string fmt_percent(double frac);
 /// "1.234s" / "12.3ms" adaptive duration cell.
 std::string fmt_seconds(double s);
 
+/// Paper-style execution-time decomposition of the measured phases,
+/// averaged per processor. busy is the remainder of phase time after the
+/// memory-system stalls and sync waits are taken out.
+struct Breakdown {
+  double busy_s = 0.0;
+  double mem_stall_s = 0.0;
+  double lock_wait_s = 0.0;
+  double barrier_wait_s = 0.0;
+  double total_s = 0.0;
+
+  double frac(double part) const { return total_s > 0.0 ? part / total_s : 0.0; }
+};
+
+/// Derives the breakdown from a run's metrics registry (time.* and sync.*
+/// cells over every phase except "other", summed across processors and
+/// divided by `nprocs`).
+Breakdown breakdown_from(const trace::MetricsRegistry& m, int nprocs);
+
+/// "busy=62.1% mem=30.0% lock=5.2% barrier=2.7%" cell group.
+std::string fmt_breakdown(const Breakdown& b);
+
+/// "mean=1.2ms max=8.0ms p95=4.1ms (x123)" wait-statistics cell.
+std::string fmt_wait(const WaitSummary& w);
+
 /// One-line summary of a run (used by examples and debugging).
 std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r);
 

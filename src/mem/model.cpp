@@ -3,6 +3,7 @@
 #include "mem/hlrc_model.hpp"
 #include "mem/invalidation_model.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 namespace {
@@ -56,20 +57,20 @@ void MemModel::reset_stats() {
 
 MemProcStats MemModel::total_stats() const {
   MemProcStats t;
-  for (const auto& s : stats_) {
-    t.reads += s.reads;
-    t.writes += s.writes;
-    t.read_misses += s.read_misses;
-    t.write_misses += s.write_misses;
-    t.remote_misses += s.remote_misses;
-    t.invalidations_sent += s.invalidations_sent;
-    t.page_faults += s.page_faults;
-    t.twins += s.twins;
-    t.diffs += s.diffs;
-    t.notices_received += s.notices_received;
-    t.rmws += s.rmws;
-  }
+  for (const auto& s : stats_)
+    for (const MemCounterDesc& c : kMemCounters) t.*c.field += s.*c.field;
   return t;
+}
+
+void trace_mem_events(trace::Tracer& tracer, int proc, const MemProcStats& before,
+                      const MemProcStats& after, std::uint64_t ts_ns) {
+  for (const MemCounterDesc& c : kMemCounters) {
+    if (c.event == nullptr) continue;
+    const std::uint64_t delta = after.*c.field - before.*c.field;
+    if (delta != 0)
+      tracer.instant(proc, trace::kCatMem, c.event, ts_ns,
+                     static_cast<std::uint32_t>(delta));
+  }
 }
 
 std::unique_ptr<MemModel> make_mem_model(const PlatformSpec& spec, int nprocs) {

@@ -26,6 +26,10 @@
 
 namespace ptb {
 
+namespace trace {
+class Tracer;
+}
+
 /// Per-processor memory-event counters (diagnostics, tests, Fig. 15-style
 /// reporting).
 struct MemProcStats {
@@ -41,6 +45,36 @@ struct MemProcStats {
   std::uint64_t notices_received = 0;
   std::uint64_t rmws = 0;
 };
+
+/// The one place the MemProcStats field list lives: each counter's metrics
+/// name (`mem.<metric>` in the registry), its trace instant-event name
+/// (nullptr for raw access counters too noisy to trace), and its field.
+struct MemCounterDesc {
+  const char* metric;
+  const char* event;
+  std::uint64_t MemProcStats::*field;
+};
+inline constexpr MemCounterDesc kMemCounters[] = {
+    {"reads", nullptr, &MemProcStats::reads},
+    {"writes", nullptr, &MemProcStats::writes},
+    {"read_misses", "read-miss", &MemProcStats::read_misses},
+    {"write_misses", "write-miss", &MemProcStats::write_misses},
+    {"remote_misses", "remote-miss", &MemProcStats::remote_misses},
+    {"invalidations_sent", "invalidation", &MemProcStats::invalidations_sent},
+    {"page_faults", "page-fault", &MemProcStats::page_faults},
+    {"twins", "twin", &MemProcStats::twins},
+    {"diffs", "diff", &MemProcStats::diffs},
+    {"notices_received", "write-notice", &MemProcStats::notices_received},
+    {"rmws", nullptr, &MemProcStats::rmws},
+};
+
+/// Emits one trace instant per counter that advanced between `before` and
+/// `after` (count = delta), timestamped `ts_ns` on `proc`'s track. The
+/// simulator snapshots stats around each protocol-model call when tracing is
+/// enabled, so memory events appear in the trace without any hook inside the
+/// models' hot paths.
+void trace_mem_events(trace::Tracer& tracer, int proc, const MemProcStats& before,
+                      const MemProcStats& after, std::uint64_t ts_ns);
 
 class MemModel {
  public:

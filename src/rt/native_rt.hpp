@@ -20,6 +20,7 @@
 #include "mem/region_table.hpp"  // HomePolicy (annotation only; no cost here)
 #include "rt/phase.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -79,10 +80,21 @@ class NativeContext {
   /// application driver is runtime-generic.
   void register_region(const void*, std::size_t, HomePolicy, int, std::string) {}
 
+  /// Attaches an event tracer (null detaches). Timestamps are wall
+  /// nanoseconds since the current run() started. Lock waits are only timed
+  /// (two extra clock reads) while a tracer is attached, so detached runs
+  /// keep the untraced fast path.
+  void set_tracer(trace::Tracer* t) {
+    tracer_ = t;
+    if (t != nullptr) t->set_clock_domain("wall");
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Runs f(NativeProc&) on nprocs real threads (SPMD style) and joins them.
   template <class F>
   void run(F&& f) {
     const auto t0 = Clock::now();
+    epoch_ = t0;
     for (auto& m : mark_) m = t0;
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nprocs_));
@@ -117,11 +129,20 @@ class NativeContext {
     return mutexes_[h % kNumMutexes];
   }
 
+  /// Wall nanoseconds since the current run() started (trace timestamps).
+  std::uint64_t trace_ns(Clock::time_point tp) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_).count());
+  }
+
   void flush_phase(int p) {
     const auto now = Clock::now();
     const auto idx = static_cast<std::size_t>(p);
     stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
         std::chrono::duration<double, std::nano>(now - mark_[idx]).count();
+    if (tracer_ != nullptr && now > mark_[idx])
+      tracer_->span(p, trace::kCatPhase, phase_name(phase_[idx]),
+                    trace_ns(mark_[idx]), trace_ns(now));
     mark_[idx] = now;
   }
 
@@ -131,6 +152,8 @@ class NativeContext {
   std::vector<Clock::time_point> mark_;
   std::vector<int> lock_depth_;
   std::barrier<> barrier_;
+  trace::Tracer* tracer_ = nullptr;
+  Clock::time_point epoch_ = Clock::now();
   std::mutex mutexes_[kNumMutexes];
 };
 
@@ -138,9 +161,23 @@ inline int NativeProc::nprocs() const { return ctx_->nprocs_; }
 
 inline void NativeProc::lock(const void* addr) {
   auto& st = ctx_->stats_[static_cast<std::size_t>(self_)];
-  ++st.lock_acquires[static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)])];
+  const int phase = static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)]);
+  ++st.lock_acquires[phase];
   PTB_DCHECK(++ctx_->lock_depth_[static_cast<std::size_t>(self_)] == 1);
+  if (ctx_->tracer_ == nullptr) {
+    ctx_->mutex_for(addr).lock();
+    return;
+  }
+  const auto t0 = NativeContext::Clock::now();
   ctx_->mutex_for(addr).lock();
+  const auto t1 = NativeContext::Clock::now();
+  const double waited = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  st.lock_wait_ns += waited;
+  st.lock_wait_phase_ns[phase] += waited;
+  st.lock_wait_events.add(waited);
+  if (t1 > t0)
+    ctx_->tracer_->span(self_, trace::kCatSync, "lock-wait", ctx_->trace_ns(t0),
+                        ctx_->trace_ns(t1));
 }
 
 inline void NativeProc::unlock(const void* addr) {
@@ -156,10 +193,17 @@ inline std::int64_t NativeProc::fetch_add(std::atomic<std::int64_t>& ctr, std::i
 inline void NativeProc::barrier() {
   auto& st = ctx_->stats_[static_cast<std::size_t>(self_)];
   ++st.barriers;
+  const int phase = static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)]);
   const auto t0 = NativeContext::Clock::now();
   ctx_->barrier_.arrive_and_wait();
-  st.barrier_wait_ns +=
-      std::chrono::duration<double, std::nano>(NativeContext::Clock::now() - t0).count();
+  const auto t1 = NativeContext::Clock::now();
+  const double waited = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  st.barrier_wait_ns += waited;
+  st.barrier_wait_phase_ns[phase] += waited;
+  st.barrier_wait_events.add(waited);
+  if (ctx_->tracer_ != nullptr && t1 > t0)
+    ctx_->tracer_->span(self_, trace::kCatSync, "barrier-wait", ctx_->trace_ns(t0),
+                        ctx_->trace_ns(t1));
 }
 
 inline void NativeProc::begin_phase(Phase p) {

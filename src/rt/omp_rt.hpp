@@ -18,6 +18,7 @@
 #include "mem/region_table.hpp"  // HomePolicy (annotation only; no cost here)
 #include "rt/phase.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -77,10 +78,19 @@ class OmpContext {
 
   void register_region(const void*, std::size_t, HomePolicy, int, std::string) {}
 
+  /// Attaches an event tracer (null detaches); wall-clock timestamps
+  /// relative to run() start, as in NativeContext.
+  void set_tracer(trace::Tracer* t) {
+    tracer_ = t;
+    if (t != nullptr) t->set_clock_domain("wall");
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Runs f(OmpProc&) on an OpenMP team of nprocs threads.
   template <class F>
   void run(F&& f) {
     const auto t0 = Clock::now();
+    epoch_ = t0;
     for (auto& m : mark_) m = t0;
 #pragma omp parallel num_threads(nprocs_)
     {
@@ -107,11 +117,19 @@ class OmpContext {
     return mutexes_[h % kNumMutexes];
   }
 
+  std::uint64_t trace_ns(Clock::time_point tp) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_).count());
+  }
+
   void flush_phase(int p) {
     const auto now = Clock::now();
     const auto idx = static_cast<std::size_t>(p);
     stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
         std::chrono::duration<double, std::nano>(now - mark_[idx]).count();
+    if (tracer_ != nullptr && now > mark_[idx])
+      tracer_->span(p, trace::kCatPhase, phase_name(phase_[idx]),
+                    trace_ns(mark_[idx]), trace_ns(now));
     mark_[idx] = now;
   }
 
@@ -119,15 +137,31 @@ class OmpContext {
   std::vector<ProcStats> stats_;
   std::vector<Phase> phase_;
   std::vector<Clock::time_point> mark_;
+  trace::Tracer* tracer_ = nullptr;
+  Clock::time_point epoch_ = Clock::now();
   omp_lock_t mutexes_[kNumMutexes];
 };
 
 inline int OmpProc::nprocs() const { return ctx_->nprocs_; }
 
 inline void OmpProc::lock(const void* addr) {
-  ++ctx_->stats_[static_cast<std::size_t>(self_)]
-        .lock_acquires[static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)])];
+  auto& st = ctx_->stats_[static_cast<std::size_t>(self_)];
+  const int phase = static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)]);
+  ++st.lock_acquires[phase];
+  if (ctx_->tracer_ == nullptr) {
+    omp_set_lock(&ctx_->mutex_for(addr));
+    return;
+  }
+  const auto t0 = OmpContext::Clock::now();
   omp_set_lock(&ctx_->mutex_for(addr));
+  const auto t1 = OmpContext::Clock::now();
+  const double waited = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  st.lock_wait_ns += waited;
+  st.lock_wait_phase_ns[phase] += waited;
+  st.lock_wait_events.add(waited);
+  if (t1 > t0)
+    ctx_->tracer_->span(self_, trace::kCatSync, "lock-wait", ctx_->trace_ns(t0),
+                        ctx_->trace_ns(t1));
 }
 
 inline void OmpProc::unlock(const void* addr) { omp_unset_lock(&ctx_->mutex_for(addr)); }
@@ -138,8 +172,23 @@ inline std::int64_t OmpProc::fetch_add(std::atomic<std::int64_t>& ctr, std::int6
 }
 
 inline void OmpProc::barrier() {
-  ++ctx_->stats_[static_cast<std::size_t>(self_)].barriers;
+  auto& st = ctx_->stats_[static_cast<std::size_t>(self_)];
+  ++st.barriers;
+  if (ctx_->tracer_ == nullptr) {
 #pragma omp barrier
+    return;
+  }
+  const int phase = static_cast<int>(ctx_->phase_[static_cast<std::size_t>(self_)]);
+  const auto t0 = OmpContext::Clock::now();
+#pragma omp barrier
+  const auto t1 = OmpContext::Clock::now();
+  const double waited = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  st.barrier_wait_ns += waited;
+  st.barrier_wait_phase_ns[phase] += waited;
+  st.barrier_wait_events.add(waited);
+  if (t1 > t0)
+    ctx_->tracer_->span(self_, trace::kCatSync, "barrier-wait", ctx_->trace_ns(t0),
+                        ctx_->trace_ns(t1));
 }
 
 inline void OmpProc::begin_phase(Phase p) {

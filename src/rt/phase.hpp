@@ -9,6 +9,8 @@
 #include <array>
 #include <cstdint>
 
+#include "support/stats.hpp"
+
 namespace ptb {
 
 enum class Phase : int {
@@ -29,12 +31,27 @@ inline const char* phase_name(Phase p) {
 }
 
 /// Per-processor statistics every runtime keeps. Times are nanoseconds:
-/// wall-clock for NativeRT, virtual for SimRT.
+/// wall-clock for NativeRT, virtual for SimRT. This struct is the hot-path
+/// accumulator; after a run it is ingested into a trace::MetricsRegistry
+/// (harness/experiment.cpp) that everything downstream reads from.
 struct ProcStats {
   std::array<double, kNumPhases> phase_ns{};
+  /// Of phase_ns, the part spent stalled on the memory system (protocol
+  /// charges: misses, page faults, diffs, notices). Simulator only; native
+  /// runtimes cannot separate stall time and leave it zero.
+  std::array<double, kNumPhases> mem_stall_ns{};
+  /// Of phase_ns, the part spent blocked on lock queues / at barriers.
+  std::array<double, kNumPhases> lock_wait_phase_ns{};
+  std::array<double, kNumPhases> barrier_wait_phase_ns{};
   std::array<std::uint64_t, kNumPhases> lock_acquires{};
+  /// Whole-run wait totals (warm-up included), kept alongside the per-phase
+  /// split because tests and the backend-equivalence checks compare them.
   double barrier_wait_ns = 0.0;
   double lock_wait_ns = 0.0;
+  /// Per-event wait distributions (one sample per contended lock acquisition
+  /// / per barrier episode), powering the mean/max/p95 sync columns.
+  Distribution lock_wait_events;
+  Distribution barrier_wait_events;
   std::uint64_t barriers = 0;
   std::uint64_t fetch_adds = 0;
 

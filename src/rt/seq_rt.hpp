@@ -14,6 +14,7 @@
 #include "mem/region_table.hpp"  // HomePolicy (annotation only; no cost here)
 #include "rt/phase.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -67,11 +68,19 @@ class SeqContext {
   /// application driver is runtime-generic.
   void register_region(const void*, std::size_t, HomePolicy, int, std::string) {}
 
+  /// Attaches an event tracer (null detaches); single wall-clock track.
+  void set_tracer(trace::Tracer* t) {
+    tracer_ = t;
+    if (t != nullptr) t->set_clock_domain("wall");
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Runs f(SeqProc&) on the (single) processor.
   template <class F>
   void run(F&& f) {
     SeqProc proc(*this);
     mark_ = Clock::now();
+    epoch_ = mark_;
     f(proc);
     flush_phase();
   }
@@ -90,12 +99,22 @@ class SeqContext {
     const auto now = Clock::now();
     stats_[0].phase_ns[static_cast<int>(phase_)] +=
         std::chrono::duration<double, std::nano>(now - mark_).count();
+    if (tracer_ != nullptr && now > mark_)
+      tracer_->span(0, trace::kCatPhase, phase_name(phase_),
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(mark_ - epoch_)
+                            .count()),
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+                            .count()));
     mark_ = now;
   }
 
   std::vector<ProcStats> stats_;
   Phase phase_ = Phase::kOther;
   Clock::time_point mark_ = Clock::now();
+  Clock::time_point epoch_ = Clock::now();
+  trace::Tracer* tracer_ = nullptr;
   int lock_depth_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -99,6 +100,9 @@ void SimContext::run_impl(const std::function<void(SimProc&)>& f) {
 void SimContext::finish_proc(int p) {
   flush_pending(p);
   const auto idx = static_cast<std::size_t>(p);
+  if (tracer_ != nullptr && clock_[idx] > phase_mark_[idx])
+    tracer_->span(p, trace::kCatPhase, phase_name(phase_[idx]), phase_mark_[idx],
+                  clock_[idx]);
   stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
   phase_mark_[idx] = clock_[idx];
@@ -163,6 +167,9 @@ void SimContext::fiber_reschedule() {
     Fiber::switch_to(from, host_ctx_);
     return;
   }
+  if (tracer_ != nullptr)
+    tracer_->instant(next, trace::kCatSched, "fiber-switch",
+                     clock_[static_cast<std::size_t>(next)]);
   running_ = next;
   Fiber::switch_to(from, *fibers_[static_cast<std::size_t>(next)]);
 }
@@ -208,6 +215,9 @@ void SimContext::pass_token(int me) {
     return;
   }
   if (next != me) {
+    if (tracer_ != nullptr)
+      tracer_->instant(next, trace::kCatSched, "token-pass",
+                       clock_[static_cast<std::size_t>(next)]);
     running_ = next;
     turn_cv_[static_cast<std::size_t>(next)].notify_one();
   }
@@ -270,7 +280,13 @@ bool SimContext::maybe_release_barrier() {
   for (int q = 0; q < nprocs_; ++q) {
     const auto qi = static_cast<std::size_t>(q);
     if (status_[qi] != Status::kInBarrier) continue;
-    stats_[qi].barrier_wait_ns += static_cast<double>(release - barrier_arrival_[qi]);
+    const std::uint64_t waited = release - barrier_arrival_[qi];
+    stats_[qi].barrier_wait_ns += static_cast<double>(waited);
+    stats_[qi].barrier_wait_phase_ns[static_cast<int>(phase_[qi])] +=
+        static_cast<double>(waited);
+    stats_[qi].barrier_wait_events.add(static_cast<double>(waited));
+    if (tracer_ != nullptr && waited != 0)
+      tracer_->span(q, trace::kCatSync, "barrier-wait", barrier_arrival_[qi], release);
     clock_[qi] = release;
     set_active(q);
   }
@@ -280,16 +296,6 @@ bool SimContext::maybe_release_barrier() {
 }
 
 // --- operations ---
-
-void SimContext::op_ordered(int p,
-                            std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
-                                                          std::uint64_t),
-                            const void* addr, std::size_t n) {
-  OpLock l(*this);
-  flush_pending(p);
-  wait_for_turn(l, p);
-  advance(p, (mem_.get()->*fn)(p, addr, n, clock_[static_cast<std::size_t>(p)]));
-}
 
 void SimContext::op_lock(int p, const void* addr) {
   const auto idx = static_cast<std::size_t>(p);
@@ -301,7 +307,7 @@ void SimContext::op_lock(int p, const void* addr) {
   if (!ls.held) {
     ls.held = true;
     ls.holder = p;
-    advance(p, mem_->on_acquire(p, clock_[idx]));
+    charge_model(p, [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, now); });
     return;
   }
   const std::uint64_t request_ns = clock_[idx];
@@ -309,11 +315,17 @@ void SimContext::op_lock(int p, const void* addr) {
   leave_active(p, Status::kBlockedLock);
   wait_lock_grant(l, p);
   lock_granted_[idx] = 0;
-  stats_[idx].lock_wait_ns += static_cast<double>(clock_[idx] - request_ns);
+  const std::uint64_t waited = clock_[idx] - request_ns;
+  stats_[idx].lock_wait_ns += static_cast<double>(waited);
+  stats_[idx].lock_wait_phase_ns[static_cast<int>(phase_[idx])] +=
+      static_cast<double>(waited);
+  stats_[idx].lock_wait_events.add(static_cast<double>(waited));
+  if (tracer_ != nullptr)
+    tracer_->span(p, trace::kCatSync, "lock-wait", request_ns, clock_[idx]);
   // The releaser set our clock to the grant time and made us Active again;
   // run the acquire-side protocol in global virtual-time order.
   wait_for_turn(l, p);
-  advance(p, mem_->on_acquire(p, clock_[idx]));
+  charge_model(p, [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, now); });
 }
 
 void SimContext::op_unlock(int p, const void* addr) {
@@ -325,7 +337,7 @@ void SimContext::op_unlock(int p, const void* addr) {
   PTB_CHECK_MSG(it != locks_.end() && it->second.held && it->second.holder == p,
                 "unlock of a lock not held by this processor");
   LockState& ls = it->second;
-  advance(p, mem_->on_release(p, clock_[idx]));
+  charge_model(p, [&](MemModel& m, std::uint64_t now) { return m.on_release(p, now); });
   if (ls.waiters.empty()) {
     ls.held = false;
     ls.holder = -1;
@@ -348,7 +360,8 @@ void SimContext::op_barrier(int p) {
   flush_pending(p);
   ++stats_[idx].barriers;
   wait_for_turn(l, p);
-  advance(p, mem_->on_barrier_arrive(p, clock_[idx]));
+  charge_model(p,
+               [&](MemModel& m, std::uint64_t now) { return m.on_barrier_arrive(p, now); });
   barrier_arrival_[idx] = clock_[idx];
   leave_active(p, Status::kInBarrier);
   ++barrier_arrived_;
@@ -357,13 +370,17 @@ void SimContext::op_barrier(int p) {
   // Departure protocol in deterministic order (all clocks equal, id breaks
   // the tie).
   wait_for_turn(l, p);
-  advance(p, mem_->on_barrier_depart(p, clock_[idx]));
+  charge_model(p,
+               [&](MemModel& m, std::uint64_t now) { return m.on_barrier_depart(p, now); });
 }
 
 void SimContext::op_begin_phase(int p, Phase ph) {
   const auto idx = static_cast<std::size_t>(p);
   OpLock l(*this);
   flush_pending(p);
+  if (tracer_ != nullptr && clock_[idx] > phase_mark_[idx])
+    tracer_->span(p, trace::kCatPhase, phase_name(phase_[idx]), phase_mark_[idx],
+                  clock_[idx]);
   stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
   phase_mark_[idx] = clock_[idx];
@@ -378,16 +395,36 @@ void SimProc::compute(double units) {
 }
 
 void SimProc::read(const void* p, std::size_t n) {
-  ctx_->op_ordered(self_, &MemModel::on_read, p, n);
+  SimContext::OpLock l(*ctx_);
+  ctx_->flush_pending(self_);
+  ctx_->wait_for_turn(l, self_);
+  ctx_->ordered_charge(self_, p, n, /*is_write=*/false);
 }
 
 void SimProc::write(const void* p, std::size_t n) {
-  ctx_->op_ordered(self_, &MemModel::on_write, p, n);
+  SimContext::OpLock l(*ctx_);
+  ctx_->flush_pending(self_);
+  ctx_->wait_for_turn(l, self_);
+  ctx_->ordered_charge(self_, p, n, /*is_write=*/true);
 }
 
 void SimProc::read_shared(const void* p, std::size_t n) {
-  ctx_->pending_[static_cast<std::size_t>(self_)] +=
-      ctx_->mem_->on_read_shared(self_, p, n);
+  SimContext& ctx = *ctx_;
+  const auto idx = static_cast<std::size_t>(self_);
+  std::uint64_t cost;
+  if (ctx.tracer_ != nullptr) {
+    // Snapshot-and-diff around the model call so misses on the fast path
+    // show up as instants too. Timestamps are approximate (the pending
+    // bucket has not been folded into the clock yet).
+    const MemProcStats snap = ctx.mem_->proc_stats(self_);
+    cost = ctx.mem_->on_read_shared(self_, p, n);
+    trace_mem_events(*ctx.tracer_, self_, snap, ctx.mem_->proc_stats(self_),
+                     ctx.clock_[idx] + ctx.pending_[idx]);
+  } else {
+    cost = ctx.mem_->on_read_shared(self_, p, n);
+  }
+  ctx.pending_[idx] += cost;
+  ctx.note_mem_stall(self_, cost);
 }
 
 void SimProc::lock(const void* addr) { ctx_->op_lock(self_, addr); }
@@ -399,8 +436,9 @@ std::int64_t SimProc::fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v) 
   ctx_->flush_pending(self_);
   ++ctx_->stats_[static_cast<std::size_t>(self_)].fetch_adds;
   ctx_->wait_for_turn(l, self_);
-  ctx_->advance(self_, ctx_->mem_->on_rmw(self_, &ctr,
-                                          ctx_->clock_[static_cast<std::size_t>(self_)]));
+  ctx_->charge_model(self_, [&](MemModel& m, std::uint64_t now) {
+    return m.on_rmw(self_, &ctr, now);
+  });
   return ctr.fetch_add(v, std::memory_order_relaxed);
 }
 

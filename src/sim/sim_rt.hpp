@@ -128,6 +128,14 @@ class SimContext {
   void register_region(const void* base, std::size_t bytes, HomePolicy policy,
                        int fixed_home, std::string name);
 
+  /// Attaches an event tracer (null detaches). Virtual-time spans (phases,
+  /// lock/barrier waits), scheduler switches and memory instant events are
+  /// recorded on it; with no tracer attached the hot path pays a single
+  /// branch per operation. The tracer must outlive the context and have at
+  /// least nprocs() tracks. Never affects virtual results.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   /// Runs f(SimProc&) SPMD on nprocs simulated processors, returning when
   /// all of them finish.
   template <class F>
@@ -142,8 +150,7 @@ class SimContext {
     OpLock l(*this);
     flush_pending(p);
     wait_for_turn(l, p);
-    const auto now = clock_[static_cast<std::size_t>(p)];
-    advance(p, is_write ? mem_->on_write(p, addr, n, now) : mem_->on_read(p, addr, n, now));
+    ordered_charge(p, addr, n, is_write);
     return f();
   }
 
@@ -220,9 +227,34 @@ class SimContext {
   void fiber_reschedule();
 
   // Operation implementations (called by SimProc).
-  void op_ordered(int p, std::uint64_t (MemModel::*fn)(int, const void*, std::size_t,
-                                                       std::uint64_t),
-                  const void* addr, std::size_t n);
+  /// Charges `cost` virtual ns of memory-system stall to p's current phase.
+  void note_mem_stall(int p, std::uint64_t cost) {
+    const auto idx = static_cast<std::size_t>(p);
+    stats_[idx].mem_stall_ns[static_cast<int>(phase_[idx])] +=
+        static_cast<double>(cost);
+  }
+  /// Requires the ordering section and p's turn. Runs one protocol-model
+  /// call (`call(mem, now) -> cost`), advances p's clock by the cost,
+  /// attributes the memory stall to p's current phase, and — when tracing —
+  /// emits instant events for the memory-event counters the call advanced.
+  template <class F>
+  void charge_model(int p, F&& call) {
+    const auto idx = static_cast<std::size_t>(p);
+    MemProcStats snap;
+    if (tracer_ != nullptr) snap = mem_->proc_stats(p);
+    const std::uint64_t now = clock_[idx];
+    const std::uint64_t cost = call(*mem_, now);
+    advance(p, cost);
+    note_mem_stall(p, cost);
+    if (tracer_ != nullptr)
+      trace_mem_events(*tracer_, p, snap, mem_->proc_stats(p), now);
+  }
+  /// charge_model for a plain ordered read/write of [addr, addr+n).
+  void ordered_charge(int p, const void* addr, std::size_t n, bool is_write) {
+    charge_model(p, [&](MemModel& m, std::uint64_t now) {
+      return is_write ? m.on_write(p, addr, n, now) : m.on_read(p, addr, n, now);
+    });
+  }
   void op_lock(int p, const void* addr);
   void op_unlock(int p, const void* addr);
   void op_barrier(int p);
@@ -232,6 +264,8 @@ class SimContext {
   int nprocs_;
   SimBackend backend_;
   std::unique_ptr<MemModel> mem_;
+  /// Opt-in observability (null = disabled; the common case).
+  trace::Tracer* tracer_ = nullptr;
 
   /// The Active set ordered by (virtual clock, processor id): top() is the
   /// one processor allowed past its next ordering point. Maintained by every

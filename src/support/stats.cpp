@@ -1,8 +1,51 @@
 #include "support/stats.hpp"
 
+#include <bit>
+
 #include "support/check.hpp"
 
 namespace ptb {
+
+namespace {
+
+int bucket_of(double x) {
+  if (!(x >= 1.0)) return 0;  // [0,1) and any NaN/negative garbage
+  const double capped = std::min(x, 9.2e18);  // below 2^63
+  const int b = std::bit_width(static_cast<std::uint64_t>(capped));
+  return std::min(b, Distribution::kBuckets - 1);
+}
+
+}  // namespace
+
+void Distribution::add(double x) {
+  stat_.add(x);
+  ++buckets_[static_cast<std::size_t>(bucket_of(x))];
+}
+
+void Distribution::merge(const Distribution& o) {
+  stat_.merge(o.stat_);
+  for (int i = 0; i < kBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] += o.buckets_[static_cast<std::size_t>(i)];
+}
+
+double Distribution::quantile(double q) const {
+  const std::uint64_t n = stat_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double c = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (cum + c >= target && c > 0.0) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      const double frac = (target - cum) / c;
+      return std::clamp(lo + frac * (hi - lo), stat_.min(), stat_.max());
+    }
+    cum += c;
+  }
+  return stat_.max();
+}
 
 Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
   PTB_CHECK(buckets > 0);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -22,6 +23,25 @@ class RunningStat {
     sum_ += x;
   }
 
+  /// Folds another accumulator in (Chan et al. parallel update), as if every
+  /// sample of `o` had been add()ed here.
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const std::uint64_t n = n_ + o.n_;
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    n_ = n;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double sum() const { return sum_; }
@@ -39,6 +59,36 @@ class RunningStat {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming distribution of nonnegative samples (wait times in ns): a
+/// Welford summary plus fixed power-of-two buckets, so mean/max are exact and
+/// quantiles are available without storing samples. Bucket i >= 1 covers
+/// [2^(i-1), 2^i); bucket 0 covers [0, 1). Default-constructible and POD-ish
+/// on purpose — it lives inside the per-processor hot-path stats structs.
+class Distribution {
+ public:
+  void add(double x);
+  void merge(const Distribution& o);
+
+  const RunningStat& stat() const { return stat_; }
+  std::uint64_t count() const { return stat_.count(); }
+
+  /// Approximate quantile (q in [0, 1]): linear interpolation inside the
+  /// containing power-of-two bucket, clamped to the observed [min, max].
+  double quantile(double q) const;
+  double p95() const { return quantile(0.95); }
+
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+  static constexpr int kBuckets = 64;
+
+  void reset() { *this = Distribution{}; }
+
+ private:
+  RunningStat stat_;
+  std::array<std::uint64_t, kBuckets> buckets_{};
 };
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the

@@ -1,0 +1,137 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ptb::trace {
+
+Labels proc_label(int proc) { return {{"proc", std::to_string(proc)}}; }
+
+Labels proc_phase_label(int proc, const char* phase) {
+  return {{"phase", phase}, {"proc", std::to_string(proc)}};
+}
+
+std::string MetricsRegistry::key_of(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) key += ',';
+    key += labels[i].first;
+    key += '=';
+    key += labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+bool MetricsRegistry::key_matches(const std::string& key, const std::string& name,
+                                  const Labels& filter) {
+  if (key.size() < name.size() + 2 || key.compare(0, name.size(), name) != 0 ||
+      key[name.size()] != '{')
+    return false;
+  for (const Label& l : filter) {
+    // Label keys/values never contain '{', ',', '=' or '}', so substring
+    // search against the canonical serialization is exact.
+    const std::string needle = l.first + "=" + l.second;
+    const std::size_t pos = key.find(needle, name.size());
+    if (pos == std::string::npos) return false;
+    const char before = key[pos - 1];
+    const char after = key[pos + needle.size()];
+    if ((before != '{' && before != ',') || (after != '}' && after != ','))
+      return false;
+  }
+  return true;
+}
+
+void MetricsRegistry::add(const std::string& name, const Labels& labels, double v) {
+  values_[key_of(name, labels)] += v;
+}
+
+void MetricsRegistry::set(const std::string& name, const Labels& labels, double v) {
+  values_[key_of(name, labels)] = v;
+}
+
+void MetricsRegistry::record(const std::string& name, const Labels& labels,
+                             double sample) {
+  dists_[key_of(name, labels)].add(sample);
+}
+
+void MetricsRegistry::record_all(const std::string& name, const Labels& labels,
+                                 const Distribution& d) {
+  dists_[key_of(name, labels)].merge(d);
+}
+
+double MetricsRegistry::value(const std::string& name, const Labels& labels) const {
+  const auto it = values_.find(key_of(name, labels));
+  return it != values_.end() ? it->second : 0.0;
+}
+
+double MetricsRegistry::sum(const std::string& name, const Labels& filter) const {
+  double total = 0.0;
+  for (const auto& [key, v] : values_)
+    if (key_matches(key, name, filter)) total += v;
+  return total;
+}
+
+double MetricsRegistry::max(const std::string& name, const Labels& filter) const {
+  double mx = 0.0;
+  for (const auto& [key, v] : values_)
+    if (key_matches(key, name, filter)) mx = std::max(mx, v);
+  return mx;
+}
+
+Distribution MetricsRegistry::merged(const std::string& name,
+                                     const Labels& filter) const {
+  Distribution out;
+  for (const auto& [key, d] : dists_)
+    if (key_matches(key, name, filter)) out.merge(d);
+  return out;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::select(const std::string& name,
+                                                            const Labels& filter) const {
+  std::vector<Entry> out;
+  for (const auto& [key, v] : values_) {
+    if (!key_matches(key, name, filter)) continue;
+    Entry e;
+    e.name = name;
+    e.value = v;
+    // Parse the labels back out of the canonical key.
+    std::size_t pos = name.size() + 1;
+    while (pos < key.size() && key[pos] != '}') {
+      const std::size_t eq = key.find('=', pos);
+      std::size_t end = key.find(',', eq);
+      if (end == std::string::npos) end = key.size() - 1;
+      e.labels.emplace_back(key.substr(pos, eq - pos), key.substr(eq + 1, end - eq - 1));
+      pos = end + (key[end] == ',' ? 1 : 0);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::dump() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [key, v] : values_) {
+    std::snprintf(buf, sizeof buf, " %.17g\n", v);
+    out += key;
+    out += buf;
+  }
+  for (const auto& [key, d] : dists_) {
+    std::snprintf(buf, sizeof buf, " count=%llu mean=%.6g max=%.6g p95=%.6g\n",
+                  static_cast<unsigned long long>(d.count()), d.stat().mean(),
+                  d.stat().max(), d.p95());
+    out += key;
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  values_.clear();
+  dists_.clear();
+}
+
+}  // namespace ptb::trace

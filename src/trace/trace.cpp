@@ -1,0 +1,112 @@
+#include "trace/trace.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace ptb::trace {
+
+Tracer::Tracer(int nprocs, std::size_t capacity_per_proc)
+    : nprocs_(nprocs), capacity_(capacity_per_proc) {
+  PTB_CHECK(nprocs >= 1);
+  buffers_.resize(static_cast<std::size_t>(nprocs));
+  dropped_.assign(static_cast<std::size_t>(nprocs), 0);
+}
+
+std::uint64_t Tracer::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b.size();
+  return n;
+}
+
+void Tracer::clear() {
+  for (auto& b : buffers_) b.clear();
+  dropped_.assign(dropped_.size(), 0);
+}
+
+void Tracer::write_chrome_json(std::FILE* f) const {
+  std::fprintf(f, "{\n\"traceEvents\": [\n");
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+  };
+  // Metadata: name the process after the clock domain and each track after
+  // its simulated processor so Perfetto shows "proc 0..P-1" lanes.
+  sep();
+  std::fprintf(f,
+               "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", "
+               "\"args\": {\"name\": \"ptb (%s time)\"}}",
+               clock_domain_);
+  for (int p = 0; p < nprocs_; ++p) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\": \"M\", \"pid\": 0, \"tid\": %d, \"name\": \"thread_name\", "
+                 "\"args\": {\"name\": \"proc %d\"}}",
+                 p, p);
+  }
+  // Chrome trace timestamps are microseconds; emit 3 fractional digits to
+  // keep nanosecond resolution.
+  for (int p = 0; p < nprocs_; ++p) {
+    for (const Event& e : events(p)) {
+      sep();
+      const double ts_us = static_cast<double>(e.ts_ns) * 1e-3;
+      if (e.count == 0) {
+        std::fprintf(f,
+                     "{\"ph\": \"X\", \"pid\": 0, \"tid\": %d, \"name\": \"%s\", "
+                     "\"cat\": \"%s\", \"ts\": %.3f, \"dur\": %.3f}",
+                     p, e.name, e.cat, ts_us, static_cast<double>(e.dur_ns) * 1e-3);
+      } else {
+        std::fprintf(f,
+                     "{\"ph\": \"i\", \"pid\": 0, \"tid\": %d, \"name\": \"%s\", "
+                     "\"cat\": \"%s\", \"ts\": %.3f, \"s\": \"t\", "
+                     "\"args\": {\"count\": %u}}",
+                     p, e.name, e.cat, ts_us, e.count);
+      }
+    }
+    if (dropped(p) != 0) {
+      sep();
+      std::fprintf(f,
+                   "{\"ph\": \"i\", \"pid\": 0, \"tid\": %d, \"name\": \"events "
+                   "dropped (buffer full)\", \"cat\": \"%s\", \"ts\": 0.000, "
+                   "\"s\": \"t\", \"args\": {\"count\": %llu}}",
+                   p, kCatSched, static_cast<unsigned long long>(dropped(p)));
+    }
+  }
+  std::fprintf(f, "\n],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": "
+                  "{\"clock_domain\": \"%s\"}\n}\n",
+               clock_domain_);
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  write_chrome_json(f);
+  std::fclose(f);
+  return true;
+}
+
+std::string Tracer::chrome_json() const {
+  // Serialize through a tmpfile so there is exactly one writer implementation.
+  std::FILE* f = std::tmpfile();
+  PTB_CHECK_MSG(f != nullptr, "trace: cannot create temporary file");
+  write_chrome_json(f);
+  const long len = std::ftell(f);
+  std::string out(static_cast<std::size_t>(len), '\0');
+  std::rewind(f);
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return out;
+}
+
+std::string trace_path_from(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  const char* env = std::getenv("PTB_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace ptb::trace

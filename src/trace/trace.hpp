@@ -1,0 +1,123 @@
+// ptb::trace — low-overhead, opt-in event tracing for every runtime.
+//
+// A Tracer owns one ring buffer per processor and records two event shapes:
+//
+//  * spans   — begin/end intervals (phase execution, lock waits, barrier
+//              waits), recorded once at span *end* as (ts, dur) pairs;
+//  * instants — point events (cache misses, invalidations, page faults,
+//              fiber switches), optionally carrying a count.
+//
+// Timestamps are whatever clock the producing runtime runs on: *virtual*
+// nanoseconds under SimContext, wall nanoseconds since run start under the
+// native/OpenMP/sequential runtimes. Event names and categories are static
+// strings, so recording an event is a couple of stores — no allocation, no
+// formatting, no locking (each processor writes only its own buffer, and the
+// simulator serializes processors anyway).
+//
+// The "off" state is the design center: runtimes keep a `Tracer*` that is
+// null unless the user asked for a trace (--trace / PTB_TRACE), so tracing
+// compiled in but disabled costs a single predictable branch on the DES hot
+// path (bench_sched_micro guards this).
+//
+// Buffers are bounded: once a processor's buffer is full, further events are
+// dropped and counted, keeping the recorded prefix chronologically complete.
+// write_chrome_json() serializes everything in the Chrome trace-event format
+// (one track per processor), which Perfetto and chrome://tracing load
+// directly — see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ptb::trace {
+
+// Canonical category names (Chrome "cat" field; used for filtering in the
+// viewer). Keep in sync with docs/OBSERVABILITY.md.
+inline constexpr const char* kCatPhase = "phase";
+inline constexpr const char* kCatSync = "sync";
+inline constexpr const char* kCatMem = "mem";
+inline constexpr const char* kCatSched = "sched";
+
+struct Event {
+  std::uint64_t ts_ns = 0;   // span begin / instant time
+  std::uint64_t dur_ns = 0;  // spans only
+  const char* name = nullptr;  // static string (phase or event name)
+  const char* cat = nullptr;   // static string (kCat*)
+  std::uint32_t count = 0;     // instants: event multiplicity; 0 == span
+};
+
+class Tracer {
+ public:
+  /// `capacity_per_proc` bounds each processor's buffer (events, not bytes);
+  /// 0 means unbounded.
+  explicit Tracer(int nprocs, std::size_t capacity_per_proc = kDefaultCapacity);
+
+  int nprocs() const { return nprocs_; }
+
+  /// Clock domain label written into the trace metadata: "virtual" for the
+  /// simulator, "wall" for native runtimes.
+  void set_clock_domain(const char* domain) { clock_domain_ = domain; }
+  const char* clock_domain() const { return clock_domain_; }
+
+  /// Records a completed [begin, end) span on `proc`'s track. `name`/`cat`
+  /// must be static strings.
+  void span(int proc, const char* cat, const char* name, std::uint64_t begin_ns,
+            std::uint64_t end_ns) {
+    push(proc, Event{begin_ns, end_ns - begin_ns, name, cat, 0});
+  }
+
+  /// Records a point event; `count` carries multiplicity (e.g. 3 cache
+  /// misses charged by one ordered operation).
+  void instant(int proc, const char* cat, const char* name, std::uint64_t ts_ns,
+               std::uint32_t count = 1) {
+    push(proc, Event{ts_ns, 0, name, cat, count});
+  }
+
+  const std::vector<Event>& events(int proc) const {
+    return buffers_[static_cast<std::size_t>(proc)];
+  }
+  /// Events discarded on `proc` because its buffer filled up.
+  std::uint64_t dropped(int proc) const {
+    return dropped_[static_cast<std::size_t>(proc)];
+  }
+  std::uint64_t total_events() const;
+
+  /// Drops all recorded events (buffers keep their capacity).
+  void clear();
+
+  /// Serializes as Chrome trace-event JSON ({"traceEvents": [...]}), one
+  /// thread track per processor, timestamps in microseconds (ns precision
+  /// kept via fractional digits).
+  void write_chrome_json(std::FILE* f) const;
+  /// Convenience wrapper; returns false (with a message on stderr) if the
+  /// path cannot be opened.
+  bool write_chrome_json(const std::string& path) const;
+  /// The same serialization into a string (tests, in-memory consumers).
+  std::string chrome_json() const;
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 17;
+
+ private:
+  void push(int proc, const Event& e) {
+    auto& buf = buffers_[static_cast<std::size_t>(proc)];
+    if (capacity_ != 0 && buf.size() >= capacity_) {
+      ++dropped_[static_cast<std::size_t>(proc)];
+      return;
+    }
+    buf.push_back(e);
+  }
+
+  int nprocs_;
+  std::size_t capacity_;
+  const char* clock_domain_ = "virtual";
+  std::vector<std::vector<Event>> buffers_;
+  std::vector<std::uint64_t> dropped_;
+};
+
+/// Resolves the trace output path: an explicit --trace flag wins; otherwise
+/// the PTB_TRACE environment variable; otherwise "" (tracing off).
+std::string trace_path_from(const std::string& flag_value);
+
+}  // namespace ptb::trace

@@ -119,5 +119,46 @@ TEST(Report, FormattersProduceReadableCells) {
   EXPECT_EQ(fmt_seconds(2e-5), "20.0us");
 }
 
+TEST(Report, FormatterUnitBoundaries) {
+  // Exactly at the s/ms and ms/us switch points.
+  EXPECT_EQ(fmt_seconds(1.0), "1.000s");
+  EXPECT_EQ(fmt_seconds(0.9999), "999.90ms");
+  EXPECT_EQ(fmt_seconds(1e-3), "1.00ms");
+  EXPECT_EQ(fmt_seconds(0.99e-3), "990.0us");
+  EXPECT_EQ(fmt_seconds(0.0), "0.0us");
+  EXPECT_EQ(fmt_speedup(0.0), "0.00");
+  EXPECT_EQ(fmt_percent(0.0), "0.0%");
+  EXPECT_EQ(fmt_percent(1.0), "100.0%");
+}
+
+TEST(Report, BreakdownFromRegistry) {
+  trace::MetricsRegistry m;
+  // Two procs, one measured phase: 100ns total each, of which proc0 stalls
+  // 30ns and waits 10ns at the barrier; warm-up ("other") must be ignored.
+  m.add("time.phase_ns", trace::proc_phase_label(0, "forces"), 100.0);
+  m.add("time.phase_ns", trace::proc_phase_label(1, "forces"), 100.0);
+  m.add("time.phase_ns", trace::proc_phase_label(0, "other"), 1e9);
+  m.add("time.mem_stall_ns", trace::proc_phase_label(0, "forces"), 30.0);
+  m.add("sync.barrier_wait_ns", trace::proc_phase_label(0, "forces"), 10.0);
+  const Breakdown b = breakdown_from(m, 2);
+  EXPECT_DOUBLE_EQ(b.total_s, 100e-9);
+  EXPECT_DOUBLE_EQ(b.mem_stall_s, 15e-9);
+  EXPECT_DOUBLE_EQ(b.barrier_wait_s, 5e-9);
+  EXPECT_DOUBLE_EQ(b.lock_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.busy_s, 80e-9);
+  EXPECT_DOUBLE_EQ(b.frac(b.busy_s), 0.8);
+}
+
+TEST(Report, WaitFormatting) {
+  WaitSummary none;
+  EXPECT_EQ(fmt_wait(none), "none");
+  WaitSummary w;
+  w.events = 12;
+  w.mean_s = 2e-3;
+  w.max_s = 1.5;
+  w.p95_s = 0.5e-3;
+  EXPECT_EQ(fmt_wait(w), "mean=2.00ms max=1.500s p95=500.0us (x12)");
+}
+
 }  // namespace
 }  // namespace ptb

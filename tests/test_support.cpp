@@ -81,6 +81,93 @@ TEST(RunningStat, EmptyIsSafe) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStat, MergeMatchesSequentialAdds) {
+  RunningStat all, a, b;
+  const double xs[] = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0, 3.5};
+  for (int i = 0; i < 8; ++i) {
+    all.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStat, MergeWithEmptyEitherSide) {
+  RunningStat a, b;
+  a.add(2.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Distribution, BucketEdges) {
+  Distribution d;
+  d.add(0.0);   // [0,1) -> bucket 0
+  d.add(0.99);  // bucket 0
+  d.add(1.0);   // [1,2) -> bucket 1
+  d.add(2.0);   // [2,4) -> bucket 2
+  d.add(3.99);  // bucket 2
+  d.add(4.0);   // [4,8) -> bucket 3
+  EXPECT_EQ(d.count(), 6u);
+  EXPECT_EQ(d.bucket_count(0), 2u);
+  EXPECT_EQ(d.bucket_count(1), 1u);
+  EXPECT_EQ(d.bucket_count(2), 2u);
+  EXPECT_EQ(d.bucket_count(3), 1u);
+}
+
+TEST(Distribution, HugeSampleClampsToLastBucket) {
+  Distribution d;
+  d.add(1e30);
+  EXPECT_EQ(d.bucket_count(Distribution::kBuckets - 1), 1u);
+  EXPECT_DOUBLE_EQ(d.stat().max(), 1e30);
+}
+
+TEST(Distribution, QuantileBoundsAndMonotonicity) {
+  Distribution d;
+  for (int i = 1; i <= 1000; ++i) d.add(static_cast<double>(i));
+  EXPECT_EQ(d.quantile(0.0), d.stat().min());
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), d.stat().max());
+  const double p50 = d.quantile(0.5);
+  const double p95 = d.p95();
+  EXPECT_LE(p50, p95);
+  EXPECT_GE(p50, d.stat().min());
+  EXPECT_LE(p95, d.stat().max());
+  // With log2 buckets the interpolation is coarse but must land in the
+  // right power-of-two range: p95 of 1..1000 is in [512, 1024).
+  EXPECT_GE(p95, 512.0);
+}
+
+TEST(Distribution, EmptyIsSafe) {
+  Distribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.quantile(0.5), 0.0);
+  EXPECT_EQ(d.p95(), 0.0);
+}
+
+TEST(Distribution, MergeAddsBucketsAndMoments) {
+  Distribution a, b, all;
+  for (double v : {1.0, 10.0, 100.0}) {
+    a.add(v);
+    all.add(v);
+  }
+  for (double v : {2.0, 20.0, 200.0}) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 6u);
+  EXPECT_DOUBLE_EQ(a.stat().mean(), all.stat().mean());
+  for (int i = 0; i < Distribution::kBuckets; ++i)
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
@@ -92,6 +179,18 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_EQ(h.bucket_count(9), 2u);
   EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bucket_hi(9), 10.0);
+}
+
+TEST(Histogram, ExactBucketBoundariesGoToUpperBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);  // lo edge -> bucket 0
+  h.add(1.0);  // boundary between 0 and 1 -> bucket 1 (half-open buckets)
+  h.add(9.0);  // -> bucket 9
+  h.add(10.0); // hi edge clamps into the last bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
 }
 
 TEST(ImbalanceFactor, Balanced) {

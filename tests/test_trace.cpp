@@ -1,0 +1,325 @@
+// Tests for ptb::trace — the event tracer (ring buffers, overflow policy,
+// Chrome JSON serialization) and the metrics registry, plus an end-to-end
+// check that a traced 4-processor run emits well-formed JSON with the
+// expected track structure and does not perturb the virtual results.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace ptb {
+namespace {
+
+// --- minimal JSON well-formedness checker (no third-party parser) ---
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker(R"({"a": [1, 2.5, "x\"y", true, null]})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a": )").valid());
+  EXPECT_FALSE(JsonChecker(R"([1, 2],)").valid());
+  EXPECT_FALSE(JsonChecker("").valid());
+}
+
+// --- Tracer ---
+
+TEST(Tracer, RecordsSpansAndInstants) {
+  trace::Tracer t(2);
+  t.span(0, trace::kCatPhase, "treebuild", 100, 250);
+  t.instant(1, trace::kCatMem, "read-miss", 40, 3);
+  ASSERT_EQ(t.events(0).size(), 1u);
+  ASSERT_EQ(t.events(1).size(), 1u);
+  const trace::Event& s = t.events(0)[0];
+  EXPECT_EQ(s.ts_ns, 100u);
+  EXPECT_EQ(s.dur_ns, 150u);
+  EXPECT_EQ(s.count, 0u);  // span marker
+  const trace::Event& i = t.events(1)[0];
+  EXPECT_EQ(i.ts_ns, 40u);
+  EXPECT_EQ(i.count, 3u);
+  EXPECT_EQ(t.total_events(), 2u);
+}
+
+TEST(Tracer, OverflowKeepsFirstAndCountsDrops) {
+  trace::Tracer t(1, /*capacity_per_proc=*/4);
+  for (std::uint64_t k = 0; k < 10; ++k)
+    t.instant(0, trace::kCatSched, "tick", k);
+  EXPECT_EQ(t.events(0).size(), 4u);
+  EXPECT_EQ(t.events(0)[0].ts_ns, 0u);  // chronological prefix kept
+  EXPECT_EQ(t.events(0)[3].ts_ns, 3u);
+  EXPECT_EQ(t.dropped(0), 6u);
+}
+
+TEST(Tracer, ClearDropsEvents) {
+  trace::Tracer t(1);
+  t.instant(0, trace::kCatMem, "x", 1);
+  t.clear();
+  EXPECT_EQ(t.total_events(), 0u);
+  EXPECT_EQ(t.dropped(0), 0u);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  trace::Tracer t(2, 4);
+  t.set_clock_domain("virtual");
+  t.span(0, trace::kCatPhase, "forces", 0, 1000);
+  t.instant(1, trace::kCatMem, "page-fault", 500, 2);
+  for (int k = 0; k < 10; ++k) t.instant(1, trace::kCatSched, "tick", k);  // force drops
+  const std::string json = t.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("events dropped (buffer full)"), std::string::npos);
+  EXPECT_NE(json.find("\"clock_domain\": \"virtual\""), std::string::npos);
+}
+
+TEST(Tracer, PathResolutionFlagBeatsEnv) {
+  ::setenv("PTB_TRACE", "/tmp/env.json", 1);
+  EXPECT_EQ(trace::trace_path_from("/tmp/flag.json"), "/tmp/flag.json");
+  EXPECT_EQ(trace::trace_path_from(""), "/tmp/env.json");
+  ::unsetenv("PTB_TRACE");
+  EXPECT_EQ(trace::trace_path_from(""), "");
+}
+
+// --- MetricsRegistry ---
+
+TEST(Metrics, CounterGaugeAndLookup) {
+  trace::MetricsRegistry m;
+  m.add("time.phase_ns", trace::proc_phase_label(0, "forces"), 100.0);
+  m.add("time.phase_ns", trace::proc_phase_label(0, "forces"), 50.0);
+  m.add("time.phase_ns", trace::proc_phase_label(1, "forces"), 30.0);
+  m.add("time.phase_ns", trace::proc_phase_label(1, "update"), 7.0);
+  m.set("run.nprocs", {}, 2.0);
+  EXPECT_DOUBLE_EQ(m.value("time.phase_ns", trace::proc_phase_label(0, "forces")), 150.0);
+  EXPECT_DOUBLE_EQ(m.value("time.phase_ns", trace::proc_phase_label(3, "forces")), 0.0);
+  EXPECT_DOUBLE_EQ(m.sum("time.phase_ns"), 187.0);
+  EXPECT_DOUBLE_EQ(m.sum("time.phase_ns", {{"phase", "forces"}}), 180.0);
+  EXPECT_DOUBLE_EQ(m.sum("time.phase_ns", {{"proc", "1"}}), 37.0);
+  EXPECT_DOUBLE_EQ(m.max("time.phase_ns", {{"phase", "forces"}}), 150.0);
+  EXPECT_DOUBLE_EQ(m.value("run.nprocs", {}), 2.0);
+}
+
+TEST(Metrics, LabelOrderDoesNotMatter) {
+  trace::MetricsRegistry m;
+  m.add("x", {{"b", "2"}, {"a", "1"}}, 5.0);
+  EXPECT_DOUBLE_EQ(m.value("x", {{"a", "1"}, {"b", "2"}}), 5.0);
+}
+
+TEST(Metrics, PrefixNamesDoNotCollide) {
+  trace::MetricsRegistry m;
+  m.add("time.phase", {}, 1.0);
+  m.add("time.phase_ns", {}, 2.0);
+  EXPECT_DOUBLE_EQ(m.sum("time.phase"), 1.0);
+  EXPECT_DOUBLE_EQ(m.sum("time.phase_ns"), 2.0);
+}
+
+TEST(Metrics, DistributionsMergeAcrossCells) {
+  trace::MetricsRegistry m;
+  Distribution d0, d1;
+  d0.add(10.0);
+  d0.add(20.0);
+  d1.add(30.0);
+  m.record_all("sync.lock_wait_event_ns", trace::proc_label(0), d0);
+  m.record_all("sync.lock_wait_event_ns", trace::proc_label(1), d1);
+  m.record("sync.lock_wait_event_ns", trace::proc_label(1), 40.0);
+  const Distribution all = m.merged("sync.lock_wait_event_ns");
+  EXPECT_EQ(all.count(), 4u);
+  EXPECT_DOUBLE_EQ(all.stat().mean(), 25.0);
+  EXPECT_DOUBLE_EQ(all.stat().max(), 40.0);
+  EXPECT_EQ(m.merged("sync.lock_wait_event_ns", trace::proc_label(0)).count(), 2u);
+}
+
+TEST(Metrics, SelectAndDumpAreDeterministic) {
+  trace::MetricsRegistry m;
+  m.add("c", trace::proc_label(1), 1.0);
+  m.add("c", trace::proc_label(0), 2.0);
+  const auto entries = m.select("c");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].labels[0].second, "0");  // sorted keys
+  EXPECT_EQ(entries[1].labels[0].second, "1");
+  const std::string dump = m.dump();
+  EXPECT_NE(dump.find("c{proc=0} 2"), std::string::npos);
+}
+
+// --- end to end: traced 4-processor run ---
+
+TEST(TraceEndToEnd, FourProcRunProducesValidTraceWithoutPerturbingResults) {
+  ExperimentSpec spec;
+  spec.platform = "typhoon0_hlrc";  // SVM: exercises page faults/twins/diffs
+  spec.algorithm = Algorithm::kOrig;  // locks in the tree-build phase
+  spec.n = 1500;
+  spec.nprocs = 4;
+  spec.warmup_steps = 1;
+  spec.measured_steps = 1;
+
+  ExperimentRunner plain_runner;
+  const ExperimentResult plain = plain_runner.run(spec);
+
+  trace::Tracer tracer(spec.nprocs);
+  spec.tracer = &tracer;
+  ExperimentRunner traced_runner;
+  const ExperimentResult traced = traced_runner.run(spec);
+
+  // Tracing must be a pure observer of the virtual execution.
+  EXPECT_EQ(traced.run.total_ns, plain.run.total_ns);
+  EXPECT_EQ(traced.treebuild_locks_total, plain.treebuild_locks_total);
+  EXPECT_EQ(traced.mem.page_faults, plain.mem.page_faults);
+
+  EXPECT_EQ(tracer.nprocs(), 4);
+  EXPECT_STREQ(tracer.clock_domain(), "virtual");
+  int phase_spans = 0, sync_spans = 0, mem_instants = 0;
+  for (int p = 0; p < 4; ++p) {
+    bool has_phase = false;
+    for (const trace::Event& e : tracer.events(p)) {
+      // Compare by content: the kCat* pointers are not address-identical
+      // across translation units once ASan disables string-literal merging.
+      if (std::strcmp(e.cat, trace::kCatPhase) == 0 && e.count == 0) {
+        ++phase_spans;
+        has_phase = true;
+      }
+      if (std::strcmp(e.cat, trace::kCatSync) == 0 && e.count == 0) ++sync_spans;
+      if (std::strcmp(e.cat, trace::kCatMem) == 0) ++mem_instants;
+    }
+    EXPECT_TRUE(has_phase) << "proc " << p << " has no phase spans";
+  }
+  EXPECT_GE(phase_spans, 4 * kNumPhases - 4);  // every measured phase, each proc
+  EXPECT_GT(sync_spans, 0);
+  EXPECT_GT(mem_instants, 0);
+
+  const std::string json = tracer.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);  // one track per proc
+  EXPECT_NE(json.find("treebuild"), std::string::npos);
+  EXPECT_NE(json.find("page-fault"), std::string::npos);
+
+  // The registry-derived wait summaries cover the recorded wait spans.
+  EXPECT_GT(traced.barrier_wait.events, 0u);
+  EXPECT_GE(traced.barrier_wait.max_s, traced.barrier_wait.p95_s);
+  EXPECT_GE(traced.barrier_wait.p95_s, 0.0);
+}
+
+TEST(TraceEndToEnd, MetricsRegistryIsTheSourceOfScalars) {
+  ExperimentSpec spec;
+  spec.platform = "origin2000";
+  spec.algorithm = Algorithm::kLocal;
+  spec.n = 1200;
+  spec.nprocs = 4;
+  spec.warmup_steps = 1;
+  spec.measured_steps = 1;
+  ExperimentRunner runner;
+  const ExperimentResult r = runner.run(spec);
+
+  ASSERT_FALSE(r.metrics.empty());
+  // Scalar conveniences must agree with direct registry queries.
+  EXPECT_DOUBLE_EQ(r.metrics.sum("sync.lock_acquires", {{"phase", "treebuild"}}),
+                   static_cast<double>(r.treebuild_locks_total));
+  EXPECT_DOUBLE_EQ(r.metrics.sum("mem.read_misses"),
+                   static_cast<double>(r.mem.read_misses));
+  const double total_phase_ns = r.metrics.sum("time.phase_ns");
+  EXPECT_GT(total_phase_ns, 0.0);
+  // Stall + waits never exceed the phase time that contains them.
+  EXPECT_LE(r.metrics.sum("time.mem_stall_ns"), total_phase_ns);
+  EXPECT_LE(r.metrics.sum("sync.barrier_wait_ns"), total_phase_ns);
+}
+
+}  // namespace
+}  // namespace ptb

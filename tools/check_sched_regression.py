@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sched_micro JSON against a checked-in baseline.
+
+Usage: check_sched_regression.py BASELINE.json NEW.json [--tolerance FRAC]
+
+Rows are matched on (bench, backend, procs, ops_per_proc) and the
+ordered_ops_per_sec throughput of each matched pair is compared; the check
+fails if any backend regresses by more than --tolerance (fractional, default
+0.30 — generous because shared CI runners are noisy; the tracked number is
+the checked-in BENCH_sched.json regenerated on a quiet machine, where the
+tracing-disabled overhead budget is <2%).
+
+Also fails if the new run reports virtual_results_identical != "yes".
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (
+        row.get("bench"),
+        row.get("backend"),
+        row.get("procs"),
+        row.get("ops_per_proc"),
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="maximum allowed fractional throughput drop (default 0.30)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = {row_key(r): r for r in json.load(f) if r.get("bench") == "sched_micro"}
+    with open(args.new) as f:
+        new_rows = json.load(f)
+
+    for row in new_rows:
+        if row.get("bench") == "sched_micro_summary":
+            if row.get("virtual_results_identical") != "yes":
+                print("FAIL: scheduler backends diverged on virtual results")
+                return 1
+
+    failed = False
+    compared = 0
+    for row in new_rows:
+        if row.get("bench") != "sched_micro":
+            continue
+        base = baseline.get(row_key(row))
+        if base is None:
+            print(f"skip (no baseline row): {row_key(row)}")
+            continue
+        compared += 1
+        old = base["ordered_ops_per_sec"]
+        cur = row["ordered_ops_per_sec"]
+        change = (cur - old) / old
+        status = "ok"
+        if change < -args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(f"{row['backend']:>8}: {old:12.0f} -> {cur:12.0f} ordered ops/s "
+              f"({change:+.1%}) {status}")
+
+    if compared == 0:
+        print("FAIL: no comparable sched_micro rows found")
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
