@@ -57,7 +57,7 @@ class JsonReport {
 
   /// Run-wide provenance key; prepended (in insertion order) to every row.
   JsonReport& context(const std::string& key, const std::string& v) {
-    context_.emplace_back(key, "\"" + escaped(v) + "\"");
+    context_.emplace_back(key, quoted(v));
     return *this;
   }
 
@@ -66,7 +66,7 @@ class JsonReport {
     return *this;
   }
   JsonReport& field(const std::string& key, const std::string& v) {
-    rows_.back().emplace_back(key, "\"" + escaped(v) + "\"");
+    rows_.back().emplace_back(key, quoted(v));
     return *this;
   }
   JsonReport& field(const std::string& key, double v) {
@@ -103,12 +103,17 @@ class JsonReport {
   }
 
  private:
-  static std::string escaped(const std::string& s) {
+  // Builds the quoted JSON string in one buffer; the chained operator+ form
+  // trips gcc-12's -Wrestrict on the temporary self-append.
+  static std::string quoted(const std::string& s) {
     std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
     for (char c : s) {
       if (c == '"' || c == '\\') out.push_back('\\');
       out.push_back(c);
     }
+    out.push_back('"');
     return out;
   }
 
@@ -123,6 +128,9 @@ struct BenchOptions {
   int warmup = 1;
   int measured = 2;
   bool full = false;
+  /// Run every cell under the data-race detector (--race / PTB_RACE). Virtual
+  /// times are unchanged; race counts land in each ExperimentResult.
+  bool race = false;
   SimBackend backend = default_sim_backend();
   JsonReport json;
 };
@@ -150,6 +158,8 @@ inline BenchOptions parse_options(int argc, char** argv, const std::string& defa
     std::exit(2);
   }
   opt.backend = sim_backend_from_string(backend);
+  opt.race = cli.get_bool("race", false,
+                          "run under the data-race detector (or set PTB_RACE)");
   const std::string json_path =
       cli.get_string("json", "", "also write results to this JSON file");
   opt.json.set_path(json_path);
@@ -186,6 +196,7 @@ inline ExperimentSpec make_spec(const std::string& platform, Algorithm alg, int 
   s.warmup_steps = opt.warmup;
   s.measured_steps = opt.measured;
   s.backend = opt.backend;
+  s.race = opt.race;
   return s;
 }
 

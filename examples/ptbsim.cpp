@@ -40,6 +40,11 @@ int main(int argc, char** argv) {
   spec.bh.partitioner = cli.get_string("partitioner", "costzones", "costzones|orb") == "orb"
                             ? Partitioner::kOrb
                             : Partitioner::kCostzones;
+  spec.race = cli.get_bool("race", false,
+                           "run under the data-race detector (or set PTB_RACE); "
+                           "exits 2 if any race is found");
+  spec.bh.elide_locks = cli.get_bool(
+      "elide-locks", false, "skip tree-build lock acquisitions (race-detector demo)");
   const bool csv = cli.get_bool("csv", false, "emit one CSV line instead of tables");
   const bool csv_header = cli.get_bool("csv-header", false, "print the CSV header line");
   const std::string trace_path = trace::trace_path_from(cli.get_string(
@@ -61,6 +66,11 @@ int main(int argc, char** argv) {
 
   ExperimentRunner runner;
   const ExperimentResult r = runner.run(spec);
+  // Race findings go to stderr (csv mode keeps stdout machine-readable);
+  // any race turns the exit status into 2 so CI can gate on it.
+  const int exit_code = r.race.enabled && r.race.races > 0 ? 2 : 0;
+  if (r.race.enabled)
+    std::fprintf(stderr, "%s", race::format_race_report(r.race).c_str());
 
   if (tracer != nullptr) {
     if (!tracer->write_chrome_json(trace_path)) return 1;
@@ -79,7 +89,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.mem.page_faults),
                 static_cast<unsigned long long>(r.mem.remote_misses),
                 static_cast<unsigned long long>(r.mem.invalidations_sent));
-    return 0;
+    return exit_code;
   }
 
   std::printf("%s\n\n", summarize(spec, r).c_str());
@@ -121,5 +131,5 @@ int main(int argc, char** argv) {
   sync.add_row({"remote misses (hw)", std::to_string(r.mem.remote_misses)});
   sync.add_row({"invalidations sent (hw)", std::to_string(r.mem.invalidations_sent)});
   sync.print();
-  return 0;
+  return exit_code;
 }

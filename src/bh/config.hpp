@@ -36,6 +36,12 @@ struct BHConfig {
   /// same lock (false lock contention). <= 0 means one lock per node (the
   /// default; what modern codes would do).
   int lock_buckets = 0;
+  /// Fault-injection knob for the race detector: when true, tree-build
+  /// builders skip their lock/unlock pairs entirely, turning the
+  /// intentionally-synchronized shared-tree mutations into genuine data
+  /// races. Exists so tests and CI can prove the detector actually fires;
+  /// never set it for measurement runs.
+  bool elide_locks = false;
   /// RNG seed for the galaxy generator.
   std::uint64_t seed = 12345;
   /// Body-to-processor partitioning scheme for the compute phases.

@@ -9,8 +9,8 @@ namespace {
 
 struct Checker {
   std::span<const Body> bodies;
-  const BHConfig* cfg;
-  bool check_moments;
+  const BHConfig* cfg = nullptr;
+  bool check_moments = false;
   TreeCheckResult res;
   std::vector<char> seen;  // per body index
 
@@ -116,7 +116,13 @@ void serialize(const Node* n, std::span<const Body> bodies, std::vector<std::uin
 
 TreeCheckResult check_tree(const Node* root, std::span<const Body> bodies,
                            const BHConfig& cfg, bool check_moments) {
-  Checker c{bodies, &cfg, check_moments, {}, std::vector<char>(bodies.size(), 0)};
+  // Field-by-field init: brace-initializing TreeCheckResult in the aggregate
+  // trips gcc-12's -Wmaybe-uninitialized on the error string.
+  Checker c;
+  c.bodies = bodies;
+  c.cfg = &cfg;
+  c.check_moments = check_moments;
+  c.seen.assign(bodies.size(), 0);
   if (root == nullptr) {
     c.fail("null root");
     return c.res;

@@ -46,32 +46,6 @@ PlatformSpec sequential_variant(const PlatformSpec& spec) {
   return s;
 }
 
-template <class Builder>
-RunResult run_one(const PlatformSpec& platform, const ExperimentSpec& spec) {
-  AppState st = make_app_state(effective_bh(spec), spec.nprocs);
-  SimContext ctx(platform, spec.nprocs, spec.backend);
-  Builder builder(st);
-  const RunConfig rc{spec.warmup_steps, spec.measured_steps};
-  return run_simulation(ctx, st, builder, rc);
-}
-
-RunResult dispatch(const PlatformSpec& platform, const ExperimentSpec& spec) {
-  switch (spec.algorithm) {
-    case Algorithm::kOrig:
-      return run_one<OrigBuilder>(platform, spec);
-    case Algorithm::kLocal:
-      return run_one<LocalBuilder>(platform, spec);
-    case Algorithm::kUpdate:
-      return run_one<UpdateBuilder>(platform, spec);
-    case Algorithm::kPartree:
-      return run_one<PartreeBuilder>(platform, spec);
-    case Algorithm::kSpace:
-      return run_one<SpaceBuilder>(platform, spec);
-  }
-  PTB_CHECK_MSG(false, "unhandled algorithm");
-  return {};
-}
-
 }  // namespace
 
 void ingest_run_metrics(trace::MetricsRegistry& reg, const std::vector<ProcStats>& stats,
@@ -144,7 +118,8 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   const PlatformSpec platform = PlatformSpec::by_name(spec.platform);
 
   AppState st = make_app_state(effective_bh(spec), spec.nprocs);
-  SimContext ctx(platform, spec.nprocs, spec.backend);
+  SimContext ctx(platform, spec.nprocs, spec.backend,
+                 spec.race || default_race_detection());
   if (spec.tracer != nullptr) {
     spec.tracer->set_clock_domain("virtual");
     ctx.set_tracer(spec.tracer);
@@ -191,6 +166,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   out.treebuild_speedup =
       out.treebuild_seconds > 0.0 ? out.treebuild_seq_seconds / out.treebuild_seconds : 0.0;
   out.treebuild_fraction = out.run.treebuild_fraction();
+  if (const race::RaceReport* rr = ctx.race_report()) out.race = *rr;
 
   // Everything below is *derived* from the metrics registry — the scalar
   // fields are conveniences over the same data benches can query directly.

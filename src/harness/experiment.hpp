@@ -9,6 +9,7 @@
 
 #include "harness/app.hpp"
 #include "mem/model.hpp"
+#include "race/race.hpp"
 #include "sim/sim_rt.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -29,6 +30,10 @@ struct ExperimentSpec {
   /// Optional event tracer attached to the parallel run (never the
   /// sequential baseline). Must outlive the run; null = tracing off.
   trace::Tracer* tracer = nullptr;
+  /// Run the parallel build under the data-race detector (--race). PTB_RACE
+  /// in the environment enables it regardless of this flag. Virtual times
+  /// are unchanged; ExperimentResult::race carries the findings.
+  bool race = false;
   BHConfig bh;  // n is overwritten from `n`
 };
 
@@ -59,6 +64,9 @@ struct ExperimentResult {
   std::uint64_t treebuild_locks_total = 0;
   // Memory-system event totals.
   MemProcStats mem;
+  /// Data-race detector findings (enabled == false unless the run was under
+  /// --race / PTB_RACE).
+  race::RaceReport race;
   // Full per-phase breakdown.
   RunResult run;
   /// Every scalar above is derived from this registry (the single source of

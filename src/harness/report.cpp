@@ -75,7 +75,13 @@ std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r) {
                 fmt_seconds(r.seq_seconds).c_str(), fmt_seconds(r.par_seconds).c_str(),
                 fmt_speedup(r.speedup).c_str(), fmt_percent(r.treebuild_fraction).c_str(),
                 fmt_wait(r.lock_wait).c_str(), fmt_wait(r.barrier_wait).c_str());
-  return buf;
+  std::string line = buf;
+  if (r.race.enabled) {
+    std::snprintf(buf, sizeof(buf), " races=%llu",
+                  static_cast<unsigned long long>(r.race.races));
+    line += buf;
+  }
+  return line;
 }
 
 }  // namespace ptb

@@ -201,11 +201,11 @@ std::uint64_t HlrcModel::apply_notices(int proc) {
   return cost;
 }
 
-std::uint64_t HlrcModel::on_acquire(int proc, std::uint64_t /*now*/) {
+std::uint64_t HlrcModel::on_acquire(int proc, const void* /*lock*/, std::uint64_t /*now*/) {
   return static_cast<std::uint64_t>(spec_.svm_lock_ns) + apply_notices(proc);
 }
 
-std::uint64_t HlrcModel::on_release(int proc, std::uint64_t /*now*/) {
+std::uint64_t HlrcModel::on_release(int proc, const void* /*lock*/, std::uint64_t /*now*/) {
   return flush_interval(proc);
 }
 

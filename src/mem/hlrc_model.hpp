@@ -43,8 +43,8 @@ class HlrcModel final : public MemModel {
   std::uint64_t on_read(int proc, const void* p, std::size_t n, std::uint64_t now) override;
   std::uint64_t on_write(int proc, const void* p, std::size_t n, std::uint64_t now) override;
   std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) override;
-  std::uint64_t on_acquire(int proc, std::uint64_t now) override;
-  std::uint64_t on_release(int proc, std::uint64_t now) override;
+  std::uint64_t on_acquire(int proc, const void* lock, std::uint64_t now) override;
+  std::uint64_t on_release(int proc, const void* lock, std::uint64_t now) override;
   std::uint64_t on_barrier_arrive(int proc, std::uint64_t now) override;
   std::uint64_t on_barrier_depart(int proc, std::uint64_t now) override;
   std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) override;

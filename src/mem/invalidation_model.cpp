@@ -170,12 +170,12 @@ std::uint64_t InvalidationModel::on_rmw(int proc, const void* p, std::uint64_t n
   return static_cast<std::uint64_t>(c);
 }
 
-std::uint64_t InvalidationModel::on_acquire(int proc, std::uint64_t /*now*/) {
+std::uint64_t InvalidationModel::on_acquire(int proc, const void* /*lock*/, std::uint64_t /*now*/) {
   (void)proc;
   return static_cast<std::uint64_t>(spec_.lock_ns);
 }
 
-std::uint64_t InvalidationModel::on_release(int proc, std::uint64_t /*now*/) {
+std::uint64_t InvalidationModel::on_release(int proc, const void* /*lock*/, std::uint64_t /*now*/) {
   (void)proc;
   return static_cast<std::uint64_t>(spec_.lock_ns * 0.25);
 }

@@ -28,8 +28,8 @@ class IdealModel final : public MemModel {
     ++stats_[static_cast<std::size_t>(proc)].rmws;
     return 0;
   }
-  std::uint64_t on_acquire(int, std::uint64_t) override { return 0; }
-  std::uint64_t on_release(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_acquire(int, const void*, std::uint64_t) override { return 0; }
+  std::uint64_t on_release(int, const void*, std::uint64_t) override { return 0; }
   std::uint64_t on_barrier_arrive(int, std::uint64_t) override { return 0; }
   std::uint64_t on_barrier_depart(int, std::uint64_t) override { return 0; }
   std::uint64_t on_read_shared(int proc, const void*, std::size_t) override {

@@ -30,6 +30,8 @@ namespace trace {
 class Tracer;
 }
 
+enum class Phase;  // rt/phase.hpp (scoped enum, int underlying type)
+
 /// Per-processor memory-event counters (diagnostics, tests, Fig. 15-style
 /// reporting).
 struct MemProcStats {
@@ -102,27 +104,46 @@ class MemModel {
   virtual std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) = 0;
   /// Protocol work at lock acquisition, *excluding* queueing (the scheduler
   /// models waiting). For SVM protocols this is where write notices are
-  /// applied (pages invalidated).
-  virtual std::uint64_t on_acquire(int proc, std::uint64_t now) = 0;
+  /// applied (pages invalidated). `lock` identifies the lock object (the
+  /// protocol models ignore it; analysis decorators key sync state by it).
+  virtual std::uint64_t on_acquire(int proc, const void* lock, std::uint64_t now) = 0;
   /// Protocol work at lock release (HLRC: diff the interval's written pages
   /// to their homes and post write notices).
-  virtual std::uint64_t on_release(int proc, std::uint64_t now) = 0;
+  virtual std::uint64_t on_release(int proc, const void* lock, std::uint64_t now) = 0;
   /// Barrier protocol, split so release-side work (flushing the interval)
   /// happens at arrival and acquire-side work (applying everyone's write
   /// notices) happens at departure, after all processors arrived.
   virtual std::uint64_t on_barrier_arrive(int proc, std::uint64_t now) = 0;
   virtual std::uint64_t on_barrier_depart(int proc, std::uint64_t now) = 0;
 
+  /// Ordered access to a shared atomic (SimProc::ordered_load /
+  /// ordered_store): `sync` is the atomic object's address, [p, p+n) the
+  /// charged range. Protocol models keep the default (atomics cost the same
+  /// as the plain access they charge); analysis decorators override to see
+  /// the release/acquire structure.
+  virtual std::uint64_t on_atomic(int proc, const void* sync, bool is_write,
+                                  const void* p, std::size_t n, std::uint64_t now) {
+    (void)sync;
+    return is_write ? on_write(proc, p, n, now) : on_read(proc, p, n, now);
+  }
+
+  /// The issuing processor entered application phase `ph`. Pure metadata —
+  /// protocol models ignore it; the race detector stamps it into reports.
+  virtual void on_phase(int proc, Phase ph) {
+    (void)proc;
+    (void)ph;
+  }
+
   // --- concurrent fast path (read-only phases) ---
   virtual std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) = 0;
 
   const PlatformSpec& spec() const { return spec_; }
   int nprocs() const { return nprocs_; }
-  const MemProcStats& proc_stats(int p) const {
+  virtual const MemProcStats& proc_stats(int p) const {
     return stats_[static_cast<std::size_t>(p)];
   }
-  MemProcStats total_stats() const;
-  void reset_stats();
+  virtual MemProcStats total_stats() const;
+  virtual void reset_stats();
 
  protected:
   PlatformSpec spec_;

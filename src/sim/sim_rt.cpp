@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "race/race.hpp"
 #include "support/check.hpp"
 #include "trace/trace.hpp"
 
@@ -38,9 +39,17 @@ SimBackend sim_backend_from_string(const std::string& s) {
   return SimBackend::kFibers;
 }
 
-SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend)
+bool default_race_detection() { return race::default_race_enabled(); }
+
+SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend,
+                       bool race_detect)
     : spec_(spec), nprocs_(nprocs), backend_(backend), mem_(make_mem_model(spec, nprocs)) {
   PTB_CHECK(nprocs >= 1 && nprocs <= 64);
+  if (race_detect) {
+    auto rm = std::make_unique<race::RaceModel>(std::move(mem_));
+    race_model_ = rm.get();
+    mem_ = std::move(rm);
+  }
   const auto np = static_cast<std::size_t>(nprocs);
   clock_.assign(np, 0);
   status_.assign(np, Status::kDone);
@@ -56,6 +65,15 @@ SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend)
 }
 
 SimContext::~SimContext() = default;
+
+const race::RaceReport* SimContext::race_report() const {
+  return race_model_ != nullptr ? &race_model_->report() : nullptr;
+}
+
+void SimContext::set_tracer(trace::Tracer* t) {
+  tracer_ = t;
+  if (race_model_ != nullptr) race_model_->set_tracer(t);
+}
 
 void SimContext::register_region(const void* base, std::size_t bytes, HomePolicy policy,
                                  int fixed_home, std::string name) {
@@ -307,7 +325,8 @@ void SimContext::op_lock(int p, const void* addr) {
   if (!ls.held) {
     ls.held = true;
     ls.holder = p;
-    charge_model(p, [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, now); });
+    charge_model(p,
+                 [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, addr, now); });
     return;
   }
   const std::uint64_t request_ns = clock_[idx];
@@ -325,7 +344,8 @@ void SimContext::op_lock(int p, const void* addr) {
   // The releaser set our clock to the grant time and made us Active again;
   // run the acquire-side protocol in global virtual-time order.
   wait_for_turn(l, p);
-  charge_model(p, [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, now); });
+  charge_model(p,
+               [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, addr, now); });
 }
 
 void SimContext::op_unlock(int p, const void* addr) {
@@ -337,7 +357,8 @@ void SimContext::op_unlock(int p, const void* addr) {
   PTB_CHECK_MSG(it != locks_.end() && it->second.held && it->second.holder == p,
                 "unlock of a lock not held by this processor");
   LockState& ls = it->second;
-  charge_model(p, [&](MemModel& m, std::uint64_t now) { return m.on_release(p, now); });
+  charge_model(p,
+               [&](MemModel& m, std::uint64_t now) { return m.on_release(p, addr, now); });
   if (ls.waiters.empty()) {
     ls.held = false;
     ls.holder = -1;
@@ -385,6 +406,7 @@ void SimContext::op_begin_phase(int p, Phase ph) {
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
   phase_mark_[idx] = clock_[idx];
   phase_[idx] = ph;
+  mem_->on_phase(p, ph);  // report metadata only; a no-op for protocol models
 }
 
 // --- SimProc forwarding ---

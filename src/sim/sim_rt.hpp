@@ -63,8 +63,19 @@
 
 namespace ptb {
 
+namespace race {
+class RaceModel;
+struct RaceReport;
+}  // namespace race
+
 /// How SimContext::run executes the simulated processors.
 enum class SimBackend { kFibers, kThreads };
+
+/// Reads PTB_RACE from the environment (non-empty, non-"0" enables the
+/// data-race detector); the default for SimContext's `race_detect` argument,
+/// so whole test-suite/bench sweeps can turn detection on without touching
+/// construction sites.
+bool default_race_detection();
 
 /// Reads PTB_SIM_BACKEND ("fibers" | "threads") from the environment;
 /// defaults to kFibers. Lets CI sweep the whole test suite across backends
@@ -116,13 +127,19 @@ class SimContext {
   using Proc = SimProc;
 
   SimContext(const PlatformSpec& spec, int nprocs,
-             SimBackend backend = default_sim_backend());
+             SimBackend backend = default_sim_backend(),
+             bool race_detect = default_race_detection());
   ~SimContext();
 
   int nprocs() const { return nprocs_; }
   SimBackend backend() const { return backend_; }
   const PlatformSpec& spec() const { return spec_; }
   MemModel& mem() { return *mem_; }
+
+  /// The data-race detector's findings, or null when detection is off. With
+  /// detection on, `mem()` is the RaceModel decorator wrapping the platform's
+  /// protocol model (virtual times are unchanged either way).
+  const race::RaceReport* race_report() const;
 
   /// Registers a shared region with the protocol model. Call before run().
   void register_region(const void* base, std::size_t bytes, HomePolicy policy,
@@ -133,7 +150,7 @@ class SimContext {
   /// recorded on it; with no tracer attached the hot path pays a single
   /// branch per operation. The tracer must outlive the context and have at
   /// least nprocs() tracks. Never affects virtual results.
-  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  void set_tracer(trace::Tracer* t);
   trace::Tracer* tracer() const { return tracer_; }
 
   /// Runs f(SimProc&) SPMD on nprocs simulated processors, returning when
@@ -151,6 +168,21 @@ class SimContext {
     flush_pending(p);
     wait_for_turn(l, p);
     ordered_charge(p, addr, n, is_write);
+    return f();
+  }
+
+  /// ordered_apply for an atomic object at `sync`: routed through the
+  /// model's on_atomic hook so decorators can see the release/acquire
+  /// structure (protocol models default it to a plain read/write charge).
+  template <class F>
+  auto ordered_apply_sync(int p, const void* sync, const void* addr, std::size_t n,
+                          bool is_write, F&& f) {
+    OpLock l(*this);
+    flush_pending(p);
+    wait_for_turn(l, p);
+    charge_model(p, [&](MemModel& m, std::uint64_t now) {
+      return m.on_atomic(p, sync, is_write, addr, n, now);
+    });
     return f();
   }
 
@@ -264,6 +296,9 @@ class SimContext {
   int nprocs_;
   SimBackend backend_;
   std::unique_ptr<MemModel> mem_;
+  /// Non-null iff race detection is on: then mem_ IS this decorator (kept
+  /// separately typed for report access and tracer forwarding).
+  race::RaceModel* race_model_ = nullptr;
   /// Opt-in observability (null = disabled; the common case).
   trace::Tracer* tracer_ = nullptr;
 
@@ -311,14 +346,14 @@ inline int SimProc::nprocs() const { return ctx_->nprocs_; }
 
 template <class T>
 T SimProc::ordered_load(const std::atomic<T>& a, const void* charge_addr, std::size_t n) {
-  return ctx_->ordered_apply(self_, charge_addr, n, /*is_write=*/false,
-                             [&] { return a.load(std::memory_order_relaxed); });
+  return ctx_->ordered_apply_sync(self_, &a, charge_addr, n, /*is_write=*/false,
+                                  [&] { return a.load(std::memory_order_relaxed); });
 }
 
 template <class T>
 void SimProc::ordered_store(std::atomic<T>& a, T v, const void* charge_addr,
                             std::size_t n) {
-  ctx_->ordered_apply(self_, charge_addr, n, /*is_write=*/true, [&] {
+  ctx_->ordered_apply_sync(self_, &a, charge_addr, n, /*is_write=*/true, [&] {
     a.store(v, std::memory_order_relaxed);
     return 0;
   });

@@ -39,6 +39,7 @@ inline constexpr const char* kCatPhase = "phase";
 inline constexpr const char* kCatSync = "sync";
 inline constexpr const char* kCatMem = "mem";
 inline constexpr const char* kCatSched = "sched";
+inline constexpr const char* kCatRace = "race";
 
 struct Event {
   std::uint64_t ts_ns = 0;   // span begin / instant time

@@ -65,6 +65,19 @@ struct InsertEnv {
 
 namespace detail {
 
+/// Lock/unlock that honour BHConfig::elide_locks — the race-detector
+/// fault-injection knob that turns the builders' synchronized mutations into
+/// genuine data races (see bh/config.hpp). Eliding can lose bodies when a
+/// subdivide and an append interleave, so only detector tests use it.
+template <class RT>
+void maybe_lock(RT& rt, const BHConfig& cfg, const void* lk) {
+  if (!cfg.elide_locks) rt.lock(lk);
+}
+template <class RT>
+void maybe_unlock(RT& rt, const BHConfig& cfg, const void* lk) {
+  if (!cfg.elide_locks) rt.unlock(lk);
+}
+
 template <class RT>
 void note_leaf(RT& rt, const InsertEnv& env, std::int32_t bi, Node* leaf) {
   if (env.body_leaf == nullptr) return;
@@ -80,25 +93,35 @@ void note_leaf(RT& rt, const InsertEnv& env, std::int32_t bi, Node* leaf) {
 
 /// Creates a leaf child of `cell` in octant `o` seeded with body `bi`.
 /// Caller holds cell's lock (shared builders) or owns the subtree (private).
+/// `publish_map` defers the body->leaf map update to the caller (see
+/// subdivide_leaf); everywhere else the new leaf's writes are complete here,
+/// so publishing immediately is safe.
 template <class RT>
 Node* make_seeded_leaf(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* cell, int o,
-                       std::int32_t bi) {
+                       std::int32_t bi, bool publish_map = true) {
   Node* leaf = alloc_node(rt, alloc);
   leaf->init_leaf(cell->cube.child(o), cell, cell->level + 1, alloc.proc, o);
   leaf->bodies[0] = bi;
   leaf->nbodies = 1;
   rt.write(leaf, 64);  // coarse: the new node's header lands in our cache
   rt.compute(work::kInsertBody);
-  note_leaf(rt, env, bi, leaf);
+  if (publish_map) note_leaf(rt, env, bi, leaf);
   return leaf;
 }
 
 /// Splits a full leaf in place. Caller holds the leaf's lock (or owns it).
-/// New children are invisible to other processors until to_cell() publishes.
+/// New children are invisible to lock-free descents until the kind flip
+/// publishes — but the body->leaf map is a second publication channel:
+/// UPDATE's relocation reaches a new child through its map entry with only
+/// the *child's* lock, while this subdivide keeps writing the child's bodies
+/// under the *parent's* lock. So all map entries are published only after
+/// the last redistribution write (the race detector caught the per-body
+/// ordering as a write-write race on the children's bodies arrays).
 template <class RT>
 void subdivide_leaf(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* node) {
   rt.compute(work::kSubdivide);
   std::int32_t prev[kLeafCapacity];
+  Node* dest[kLeafCapacity];
   const int nprev = node->nbodies;
   for (int i = 0; i < nprev; ++i) prev[i] = node->bodies[i];
   node->nbodies = 0;
@@ -109,16 +132,17 @@ void subdivide_leaf(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* node) 
     const int o = node->cube.octant_of(q);
     Node* slot = node->get_child(o, std::memory_order_relaxed);
     if (slot == nullptr) {
-      slot = make_seeded_leaf(rt, env, alloc, node, o, bj);
+      slot = make_seeded_leaf(rt, env, alloc, node, o, bj, /*publish_map=*/false);
       node->set_child(o, slot, std::memory_order_relaxed);
       rt.write(&node->child[o], sizeof(Node*));
     } else {
       slot->bodies[slot->nbodies++] = bj;
       rt.write(&slot->bodies[0], 16);
       rt.compute(work::kInsertBody);
-      note_leaf(rt, env, bj, slot);
     }
+    dest[i] = slot;
   }
+  for (int i = 0; i < nprev; ++i) note_leaf(rt, env, prev[i], dest[i]);
   // Publish: the kind flip is what makes the new children visible to
   // lock-free descents, so it goes through the ordered store.
   node->nbodies = 0;
@@ -148,15 +172,15 @@ void shared_insert(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* start,
       Node* next = rt.ordered_load(node->child[o], &node->child[o], sizeof(Node*));
       if (next == nullptr) {
         const void* lk = env.st->node_lock(node);
-        rt.lock(lk);
+        detail::maybe_lock(rt, *env.cfg, lk);
         next = node->get_child(o, std::memory_order_relaxed);  // safe: lock held
         if (next == nullptr) {
           Node* leaf = detail::make_seeded_leaf(rt, env, alloc, node, o, bi);
           rt.ordered_store(node->child[o], leaf, &node->child[o], sizeof(Node*));
-          rt.unlock(lk);
+          detail::maybe_unlock(rt, *env.cfg, lk);
           return;
         }
-        rt.unlock(lk);  // someone else filled the slot; descend into it
+        detail::maybe_unlock(rt, *env.cfg, lk);  // someone else filled the slot
       }
       node = next;
       continue;
@@ -165,9 +189,9 @@ void shared_insert(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* start,
     // the lock, raw accesses are race-free and deterministic (kind only
     // changes while holding this lock).
     const void* lk = env.st->node_lock(node);
-    rt.lock(lk);
+    detail::maybe_lock(rt, *env.cfg, lk);
     if (node->is_cell(std::memory_order_relaxed)) {
-      rt.unlock(lk);
+      detail::maybe_unlock(rt, *env.cfg, lk);
       continue;  // converted under us; re-examine as a cell
     }
     PTB_DCHECK(!node->dead);
@@ -179,11 +203,11 @@ void shared_insert(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* start,
       rt.write(&node->bodies[0], 16);
       rt.compute(work::kInsertBody);
       detail::note_leaf(rt, env, bi, node);
-      rt.unlock(lk);
+      detail::maybe_unlock(rt, *env.cfg, lk);
       return;
     }
     detail::subdivide_leaf(rt, env, alloc, node);
-    rt.unlock(lk);
+    detail::maybe_unlock(rt, *env.cfg, lk);
     // Loop: node is now a cell; descend with bi.
   }
 }

@@ -108,17 +108,17 @@ class PartreeBuilder {
       Node* gc = rt.ordered_load(g->child[o], &g->child[o], sizeof(Node*));
       if (gc == nullptr) {
         const void* glk = env.st->node_lock(g);
-        rt.lock(glk);
+        detail::maybe_lock(rt, *env.cfg, glk);
         gc = g->get_child(o, std::memory_order_relaxed);  // safe: lock held
         if (gc == nullptr) {
           // Graft the entire local subtree: one lock for a whole subtree.
           lc->parent = g;
           rt.write(&lc->parent, sizeof(Node*));
           rt.ordered_store(g->child[o], lc, &g->child[o], sizeof(Node*));
-          rt.unlock(glk);
+          detail::maybe_unlock(rt, *env.cfg, glk);
           return;
         }
-        rt.unlock(glk);
+        detail::maybe_unlock(rt, *env.cfg, glk);
         continue;  // slot filled under us; re-examine
       }
       const NodeKind gc_kind = rt.ordered_load(gc->kind, gc, 48);
@@ -134,9 +134,9 @@ class PartreeBuilder {
       }
       // gc read as a leaf: confirm under its lock.
       const void* lk = env.st->node_lock(gc);
-      rt.lock(lk);
+      detail::maybe_lock(rt, *env.cfg, lk);
       if (gc->is_cell(std::memory_order_relaxed)) {
-        rt.unlock(lk);
+        detail::maybe_unlock(rt, *env.cfg, lk);
         continue;
       }
       if (lc->is_cell(std::memory_order_relaxed) ||
@@ -145,7 +145,7 @@ class PartreeBuilder {
         // Push gc's occupants one level down, making gc a cell; then the
         // cell-side paths above apply.
         detail::subdivide_leaf(rt, env, alloc, gc);
-        rt.unlock(lk);
+        detail::maybe_unlock(rt, *env.cfg, lk);
         continue;
       }
       // Both leaves and they fit (or we're at max depth): combine.
@@ -157,7 +157,7 @@ class PartreeBuilder {
       }
       rt.write(&gc->bodies[0], 32);
       rt.compute(work::kInsertBody * lc->nbodies);
-      rt.unlock(lk);
+      detail::maybe_unlock(rt, *env.cfg, lk);
       free_node(alloc, lc);
       return;
     }

@@ -195,19 +195,19 @@ class UpdateBuilder {
           break;
         }
         const void* lk = st.node_lock(leaf);
-        rt.lock(lk);
+        detail::maybe_lock(rt, st.cfg, lk);
         if (leaf->is_cell(std::memory_order_relaxed)) {
           // Subdivided under us: our body was relocated to a child; re-read.
-          rt.unlock(lk);
+          detail::maybe_unlock(rt, st.cfg, lk);
           continue;
         }
         if (leaf->cube.contains(b.pos)) {  // re-check under the lock
-          rt.unlock(lk);
+          detail::maybe_unlock(rt, st.cfg, lk);
           leaf = nullptr;
           break;
         }
         remove_from_leaf(rt, leaf, bi);
-        rt.unlock(lk);
+        detail::maybe_unlock(rt, st.cfg, lk);
         break;
       }
       if (leaf == nullptr) continue;

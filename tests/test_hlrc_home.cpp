@@ -28,8 +28,8 @@ TEST_F(HlrcHomeTest, HomeNeverFaults) {
   EXPECT_EQ(model_->proc_stats(2).page_faults, 0u);
   // Even after another processor writes and releases, and the home acquires.
   model_->on_write(1, buf_, 8, 0);
-  model_->on_release(1, 0);
-  model_->on_acquire(2, 0);
+  model_->on_release(1, nullptr, 0);
+  model_->on_acquire(2, nullptr, 0);
   EXPECT_EQ(model_->on_read(2, buf_, 8, 0), 0u);
   EXPECT_EQ(model_->proc_stats(2).page_faults, 0u);
 }
@@ -41,7 +41,7 @@ TEST_F(HlrcHomeTest, HomeWritesInPlaceNoTwin) {
 
 TEST_F(HlrcHomeTest, HomeReleasePostsNoticeNotDiff) {
   model_->on_write(2, buf_, 8, 0);
-  const auto c = model_->on_release(2, 0);
+  const auto c = model_->on_release(2, nullptr, 0);
   EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.notice_ns));
   EXPECT_EQ(model_->proc_stats(2).diffs, 0u);
   EXPECT_EQ(model_->notice_log_size(), 1u);
@@ -50,9 +50,9 @@ TEST_F(HlrcHomeTest, HomeReleasePostsNoticeNotDiff) {
 TEST_F(HlrcHomeTest, HomeWriteInvalidatesRemoteCopiesLazily) {
   model_->on_read(0, buf_, 8, 0);  // proc 0 caches the page (fault)
   model_->on_write(2, buf_, 8, 0);
-  model_->on_release(2, 0);
+  model_->on_release(2, nullptr, 0);
   EXPECT_EQ(model_->on_read(0, buf_, 8, 0), 0u);  // still lazy-valid
-  model_->on_acquire(0, 0);
+  model_->on_acquire(0, nullptr, 0);
   EXPECT_EQ(model_->on_read(0, buf_, 8, 0),
             static_cast<std::uint64_t>(spec_.page_fault_ns));
 }
@@ -60,7 +60,7 @@ TEST_F(HlrcHomeTest, HomeWriteInvalidatesRemoteCopiesLazily) {
 TEST_F(HlrcHomeTest, NonHomeStillPaysFull) {
   const auto c = model_->on_write(3, buf_ + 4096, 8, 0);
   EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.page_fault_ns + spec_.twin_ns));
-  EXPECT_EQ(model_->on_release(3, 0),
+  EXPECT_EQ(model_->on_release(3, nullptr, 0),
             static_cast<std::uint64_t>(spec_.diff_per_page_ns));
 }
 

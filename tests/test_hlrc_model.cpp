@@ -42,7 +42,7 @@ TEST_F(HlrcTest, FirstWriteInIntervalCreatesTwin) {
 TEST_F(HlrcTest, ReleaseDiffsWrittenPages) {
   model_->on_write(1, buf_, 8, 0);
   model_->on_write(1, buf_ + 4096, 8, 0);  // second page
-  const auto c = model_->on_release(1, 0);
+  const auto c = model_->on_release(1, nullptr, 0);
   EXPECT_EQ(c, static_cast<std::uint64_t>(2 * spec_.diff_per_page_ns));
   EXPECT_EQ(model_->proc_stats(1).diffs, 2u);
   EXPECT_EQ(model_->notice_log_size(), 2u);
@@ -53,9 +53,9 @@ TEST_F(HlrcTest, LazinessStaleCopyReadableUntilAcquire) {
   // read its stale copy for free until proc 2 itself synchronizes.
   model_->on_read(2, buf_, 8, 0);
   model_->on_write(1, buf_, 8, 0);
-  model_->on_release(1, 0);
+  model_->on_release(1, nullptr, 0);
   EXPECT_EQ(model_->on_read(2, buf_, 8, 0), 0u);  // lazy: no invalidation yet
-  model_->on_acquire(2, 0);                        // applies write notices
+  model_->on_acquire(2, nullptr, 0);                        // applies write notices
   EXPECT_EQ(model_->on_read(2, buf_, 8, 0),
             static_cast<std::uint64_t>(spec_.page_fault_ns));
 }
@@ -63,16 +63,16 @@ TEST_F(HlrcTest, LazinessStaleCopyReadableUntilAcquire) {
 TEST_F(HlrcTest, AcquireCostIncludesNotices) {
   model_->on_write(1, buf_, 8, 0);
   model_->on_write(1, buf_ + 4096, 8, 0);
-  model_->on_release(1, 0);
-  const auto c = model_->on_acquire(2, 0);
+  model_->on_release(1, nullptr, 0);
+  const auto c = model_->on_acquire(2, nullptr, 0);
   EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.svm_lock_ns + 2 * spec_.notice_ns));
   EXPECT_EQ(model_->proc_stats(2).notices_received, 2u);
 }
 
 TEST_F(HlrcTest, OwnNoticesAreSkipped) {
   model_->on_write(1, buf_, 8, 0);
-  model_->on_release(1, 0);
-  const auto c = model_->on_acquire(1, 0);  // own write notice: no invalidation
+  model_->on_release(1, nullptr, 0);
+  const auto c = model_->on_acquire(1, nullptr, 0);  // own write notice: no invalidation
   EXPECT_EQ(c, static_cast<std::uint64_t>(spec_.svm_lock_ns));
   EXPECT_EQ(model_->on_read(1, buf_, 8, 0), 0u);  // own copy stays valid
 }
@@ -97,8 +97,8 @@ TEST_F(HlrcTest, FalseSharingIsToleratedWithinInterval) {
   model_->on_write(2, buf_ + 64, 8, 0);
   EXPECT_EQ(model_->proc_stats(1).twins, 1u);
   EXPECT_EQ(model_->proc_stats(2).twins, 1u);
-  model_->on_release(1, 0);
-  model_->on_release(2, 0);
+  model_->on_release(1, nullptr, 0);
+  model_->on_release(2, nullptr, 0);
   EXPECT_EQ(model_->notice_log_size(), 2u);
 }
 
@@ -109,7 +109,7 @@ TEST_F(HlrcTest, RmwIsAMiniSynchronization) {
   EXPECT_GE(c, static_cast<std::uint64_t>(spec_.svm_lock_ns + spec_.page_fault_ns +
                                           spec_.twin_ns + spec_.diff_per_page_ns));
   // Another processor acquiring sees the counter page invalid.
-  model_->on_acquire(2, 0);
+  model_->on_acquire(2, nullptr, 0);
   EXPECT_EQ(model_->on_read(2, buf_, 8, 0),
             static_cast<std::uint64_t>(spec_.page_fault_ns));
 }

@@ -13,7 +13,7 @@ class PortabilityMatrix : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     runner_ = new ExperimentRunner();
-    for (const std::string& platform :
+    for (const char* platform :
          {"challenge", "origin2000", "typhoon0_sc", "typhoon0_hlrc", "paragon"}) {
       for (Algorithm alg : all_algorithms()) {
         ExperimentSpec spec;

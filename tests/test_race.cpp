@@ -1,0 +1,436 @@
+// ptb::race — vector-clock/epoch/lockset unit tests, synthetic detector
+// scenarios on the simulator, and the end-to-end claims: every builder is
+// race-free on every paper platform, SPACE acquires no locks, and eliding
+// the insertion locks produces detectable races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "harness/experiment.hpp"
+#include "race/race.hpp"
+#include "sim/sim_rt.hpp"
+
+namespace ptb {
+namespace {
+
+using race::LocksetTable;
+using race::RaceReport;
+using race::VectorClock;
+
+// --- epochs -----------------------------------------------------------------
+
+TEST(RaceEpoch, PackRoundtrip) {
+  const std::uint64_t e = race::epoch::pack(12345, Phase::kTreeBuild, 63);
+  EXPECT_EQ(race::epoch::clock_of(e), 12345u);
+  EXPECT_EQ(race::epoch::phase_of(e), Phase::kTreeBuild);
+  EXPECT_EQ(race::epoch::proc_of(e), 63);
+  EXPECT_NE(e, race::epoch::kNone);
+}
+
+TEST(RaceEpoch, NoneIsNotAValidFirstClock) {
+  // Clocks start at 1, so a packed epoch never collides with kNone.
+  EXPECT_NE(race::epoch::pack(1, Phase::kOther, 0), race::epoch::kNone);
+}
+
+// --- vector clocks ----------------------------------------------------------
+
+TEST(RaceVectorClock, IncrementIsPerComponent) {
+  VectorClock c(4);
+  c.increment(2);
+  c.increment(2);
+  EXPECT_EQ(c.get(2), 2u);
+  EXPECT_EQ(c.get(0), 0u);
+}
+
+TEST(RaceVectorClock, JoinIsComponentwiseMax) {
+  VectorClock a(3), b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 7);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+  EXPECT_EQ(a.get(2), 2u);
+  // Join is idempotent.
+  VectorClock before = a;
+  a.join(b);
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(a.get(p), before.get(p));
+}
+
+TEST(RaceVectorClock, CoversIsTheHappensBeforeTest) {
+  VectorClock c(2);
+  c.set(0, 3);
+  EXPECT_TRUE(c.covers(3, 0));
+  EXPECT_TRUE(c.covers(1, 0));
+  EXPECT_FALSE(c.covers(4, 0));
+  EXPECT_FALSE(c.covers(1, 1));  // nothing of proc 1 seen yet
+}
+
+// --- locksets ---------------------------------------------------------------
+
+TEST(RaceLockset, AddIsIdempotentAndInterned) {
+  LocksetTable t;
+  int a = 0, b = 0;
+  const std::uint32_t s1 = t.add(LocksetTable::kEmpty, reinterpret_cast<std::uintptr_t>(&a));
+  EXPECT_NE(s1, LocksetTable::kEmpty);
+  EXPECT_EQ(t.add(s1, reinterpret_cast<std::uintptr_t>(&a)), s1);
+  // Insertion order does not matter: {a,b} == {b,a}.
+  const std::uint32_t ab = t.add(s1, reinterpret_cast<std::uintptr_t>(&b));
+  const std::uint32_t ba = t.add(t.add(LocksetTable::kEmpty, reinterpret_cast<std::uintptr_t>(&b)),
+                                 reinterpret_cast<std::uintptr_t>(&a));
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(t.contents(ab).size(), 2u);
+}
+
+TEST(RaceLockset, RemoveEdgeCases) {
+  LocksetTable t;
+  int a = 0, b = 0;
+  const auto la = reinterpret_cast<std::uintptr_t>(&a);
+  const auto lb = reinterpret_cast<std::uintptr_t>(&b);
+  // Removing from the empty set and removing a non-member are no-ops.
+  EXPECT_EQ(t.remove(LocksetTable::kEmpty, la), LocksetTable::kEmpty);
+  const std::uint32_t sa = t.add(LocksetTable::kEmpty, la);
+  EXPECT_EQ(t.remove(sa, lb), sa);
+  EXPECT_EQ(t.remove(sa, la), LocksetTable::kEmpty);
+}
+
+TEST(RaceLockset, IntersectEdgeCases) {
+  LocksetTable t;
+  int a = 0, b = 0, c = 0;
+  const auto la = reinterpret_cast<std::uintptr_t>(&a);
+  const auto lb = reinterpret_cast<std::uintptr_t>(&b);
+  const auto lc = reinterpret_cast<std::uintptr_t>(&c);
+  const std::uint32_t ab = t.add(t.add(LocksetTable::kEmpty, la), lb);
+  const std::uint32_t bc = t.add(t.add(LocksetTable::kEmpty, lb), lc);
+  const std::uint32_t sa = t.add(LocksetTable::kEmpty, la);
+  // Anything ∩ {} == {}.
+  EXPECT_EQ(t.intersect(ab, LocksetTable::kEmpty), LocksetTable::kEmpty);
+  EXPECT_EQ(t.intersect(LocksetTable::kEmpty, ab), LocksetTable::kEmpty);
+  // Identity.
+  EXPECT_EQ(t.intersect(ab, ab), ab);
+  // Overlap and disjoint.
+  EXPECT_EQ(t.contents(t.intersect(ab, bc)), std::vector<std::uintptr_t>{lb});
+  EXPECT_EQ(t.intersect(sa, bc), LocksetTable::kEmpty);
+}
+
+// --- synthetic simulator scenarios ------------------------------------------
+
+/// A 2..4-processor SimContext on the ideal platform with the detector on.
+struct RaceHarness {
+  explicit RaceHarness(int nprocs)
+      : ctx(PlatformSpec::ideal(), nprocs, default_sim_backend(), /*race_detect=*/true) {}
+
+  const RaceReport& report() const {
+    const RaceReport* r = ctx.race_report();
+    EXPECT_NE(r, nullptr);
+    return *r;
+  }
+
+  SimContext ctx;
+};
+
+TEST(RaceDetect, WriteWriteRaceDetected) {
+  RaceHarness h(2);
+  int x = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    rt.compute(10.0 * (rt.self() + 1));  // distinct virtual times, no sync
+    x = rt.self();
+    rt.write(&x, sizeof x);
+  });
+  const RaceReport& r = h.report();
+  EXPECT_TRUE(r.enabled);
+  ASSERT_EQ(r.races, 1u);
+  ASSERT_EQ(r.top.size(), 1u);
+  EXPECT_EQ(r.top[0].region, "x");
+  EXPECT_EQ(r.top[0].offset, 0u);
+  EXPECT_EQ(r.top[0].first_proc, 0);
+  EXPECT_EQ(r.top[0].second_proc, 1);
+  EXPECT_TRUE(r.top[0].first_write);
+  EXPECT_TRUE(r.top[0].second_write);
+  EXPECT_TRUE(r.top[0].held_locks.empty());
+  EXPECT_FALSE(r.top[0].lockset_consistent);
+}
+
+TEST(RaceDetect, ReadWriteRaceDetected) {
+  RaceHarness h(2);
+  int x = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    if (rt.self() == 0) {
+      rt.read(&x, sizeof x);
+    } else {
+      rt.compute(50.0);
+      x = 1;
+      rt.write(&x, sizeof x);
+    }
+  });
+  const RaceReport& r = h.report();
+  ASSERT_EQ(r.races, 1u);
+  EXPECT_FALSE(r.top[0].first_write);
+  EXPECT_TRUE(r.top[0].second_write);
+}
+
+TEST(RaceDetect, EachGranuleReportsAtMostOnce) {
+  RaceHarness h(2);
+  int arr[2] = {0, 0};
+  h.ctx.register_region(arr, sizeof arr, HomePolicy::kFixed, 0, "arr");
+  h.ctx.run([&](SimProc& rt) {
+    rt.compute(10.0 * (rt.self() + 1));
+    for (int i = 0; i < 3; ++i) rt.write(&arr[0], sizeof(int));  // same granule
+    rt.write(&arr[1], sizeof(int));                              // second granule
+  });
+  // Repeated racy accesses to arr[0] fold into one report; arr[1] is its own.
+  EXPECT_EQ(h.report().races, 2u);
+}
+
+TEST(RaceDetect, LockOrdersCriticalSections) {
+  RaceHarness h(4);
+  int x = 0;
+  int lk = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    rt.lock(&lk);
+    ++x;
+    rt.write(&x, sizeof x);
+    rt.compute(25.0);
+    rt.unlock(&lk);
+  });
+  const RaceReport& r = h.report();
+  EXPECT_EQ(r.races, 0u);
+  EXPECT_EQ(r.lock_acquires, 4u);
+  EXPECT_EQ(r.lock_releases, 4u);
+  EXPECT_EQ(x, 4);
+}
+
+TEST(RaceDetect, BarrierOrdersPhases) {
+  RaceHarness h(4);
+  int x = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    if (rt.self() == 0) {
+      x = 1;
+      rt.write(&x, sizeof x);
+    }
+    rt.barrier();
+    rt.read(&x, sizeof x);
+    rt.barrier();
+    if (rt.self() == 3) {
+      x = 2;
+      rt.write(&x, sizeof x);
+    }
+  });
+  const RaceReport& r = h.report();
+  EXPECT_EQ(r.races, 0u);
+  EXPECT_EQ(r.barriers, 8u);  // 4 procs x 2 barriers
+}
+
+TEST(RaceDetect, ConsecutiveBarrierGenerationsStayOrdered) {
+  // Alternating writer across several barrier generations: every pair of
+  // accesses is separated by at least one barrier, so zero races even though
+  // the writer changes each round (exercises the two-slot generation logic).
+  RaceHarness h(3);
+  int x = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    for (int round = 0; round < 6; ++round) {
+      if (rt.self() == round % 3) {
+        x = round;
+        rt.write(&x, sizeof x);
+      }
+      rt.compute(1.0 + rt.self());  // skew arrivals
+      rt.barrier();
+    }
+  });
+  EXPECT_EQ(h.report().races, 0u);
+}
+
+TEST(RaceDetect, OrderedStorePublishes) {
+  // The shared_insert publish pattern: plain-write the payload, then
+  // ordered_store the flag; the reader ordered_loads the flag and only then
+  // plain-reads the payload. Release/acquire on the atomic orders the plain
+  // accesses.
+  RaceHarness h(2);
+  int payload = 0;
+  std::atomic<int> flag{0};
+  h.ctx.register_region(&payload, sizeof payload, HomePolicy::kFixed, 0, "payload");
+  h.ctx.register_region(&flag, sizeof flag, HomePolicy::kFixed, 0, "flag");
+  h.ctx.run([&](SimProc& rt) {
+    if (rt.self() == 0) {
+      payload = 42;
+      rt.write(&payload, sizeof payload);
+      rt.ordered_store(flag, 1, &flag, sizeof flag);
+    } else {
+      while (rt.ordered_load(flag, &flag, sizeof flag) == 0) rt.compute(10.0);
+      rt.read(&payload, sizeof payload);
+      EXPECT_EQ(payload, 42);
+    }
+  });
+  const RaceReport& r = h.report();
+  EXPECT_EQ(r.races, 0u);
+  EXPECT_GT(r.atomics, 0u);
+}
+
+TEST(RaceDetect, FetchAddIsAcquireRelease) {
+  // ORIG's shared-counter pattern: the processor that increments second
+  // inherits the first's history through the acq_rel RMW.
+  RaceHarness h(2);
+  int x = 0;
+  std::atomic<std::int64_t> ctr{0};
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    if (rt.self() == 0) {
+      x = 7;
+      rt.write(&x, sizeof x);
+      rt.fetch_add(ctr, 1);
+    } else {
+      rt.compute(100.0);  // increments strictly after proc 0's
+      rt.fetch_add(ctr, 1);
+      rt.read(&x, sizeof x);
+    }
+  });
+  EXPECT_EQ(h.report().races, 0u);
+}
+
+TEST(RaceDetect, SharedReadersThenUnorderedWriterRaces) {
+  // Two processors read concurrently (no race among reads — the shadow
+  // inflates to shared-read state), then a third writes with no sync: the
+  // write must race against the reads.
+  RaceHarness h(3);
+  int x = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    if (rt.self() < 2) {
+      rt.compute(10.0 * (rt.self() + 1));
+      rt.read(&x, sizeof x);
+    } else {
+      rt.compute(100.0);
+      x = 1;
+      rt.write(&x, sizeof x);
+    }
+  });
+  const RaceReport& r = h.report();
+  ASSERT_EQ(r.races, 1u);
+  EXPECT_FALSE(r.top[0].first_write);
+  EXPECT_EQ(r.top[0].second_proc, 2);
+}
+
+TEST(RaceDetect, ReadSharedFastPathIsNotChecked) {
+  // read_shared is the documented escape hatch (see race.hpp): concurrent
+  // with a plain write it must NOT report.
+  RaceHarness h(2);
+  int x = 0;
+  h.ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+  h.ctx.run([&](SimProc& rt) {
+    if (rt.self() == 0) {
+      rt.read_shared(&x, sizeof x);
+    } else {
+      rt.compute(10.0);
+      x = 1;
+      rt.write(&x, sizeof x);
+    }
+  });
+  EXPECT_EQ(h.report().races, 0u);
+}
+
+TEST(RaceDetect, UnregisteredAddressesArePrivate) {
+  RaceHarness h(2);
+  int x = 0;  // never registered
+  h.ctx.run([&](SimProc& rt) {
+    rt.compute(10.0 * (rt.self() + 1));
+    x = rt.self();
+    rt.write(&x, sizeof x);
+  });
+  EXPECT_EQ(h.report().races, 0u);
+}
+
+TEST(RaceDetect, DetectorDoesNotPerturbVirtualTime) {
+  // Same program with the detector on and off: identical per-processor
+  // virtual clocks (the decorator forwards the inner model's latencies).
+  PlatformSpec spec = PlatformSpec::by_name("challenge");
+  auto program = [](SimProc& rt, int* x, int* lk) {
+    rt.lock(lk);
+    ++*x;
+    rt.write(x, sizeof *x);
+    rt.compute(50.0);
+    rt.unlock(lk);
+    rt.barrier();
+    rt.read(x, sizeof *x);
+  };
+  std::vector<std::uint64_t> clocks_off, clocks_on;
+  for (bool detect : {false, true}) {
+    SimContext ctx(spec, 4, default_sim_backend(), detect);
+    int x = 0, lk = 0;
+    ctx.register_region(&x, sizeof x, HomePolicy::kFixed, 0, "x");
+    ctx.run([&](SimProc& rt) { program(rt, &x, &lk); });
+    for (int p = 0; p < 4; ++p)
+      (detect ? clocks_on : clocks_off).push_back(ctx.clock_ns(p));
+  }
+  EXPECT_EQ(clocks_on, clocks_off);
+}
+
+TEST(RaceDetect, DisabledByDefault) {
+  SimContext ctx(PlatformSpec::ideal(), 2);
+  EXPECT_EQ(ctx.race_report(), nullptr);
+}
+
+// --- end-to-end: the paper's synchronization claims -------------------------
+
+class RaceMatrix : public ::testing::Test {
+ protected:
+  static ExperimentResult run_spec(const std::string& platform, Algorithm alg,
+                                   bool elide = false) {
+    ExperimentSpec spec;
+    spec.platform = platform;
+    spec.algorithm = alg;
+    // The elided config is chosen to finish: lock elision really corrupts
+    // the tree (lost bodies, dangling children), and many (n, procs) pairs
+    // crash outright before the run completes. The DES is deterministic, so
+    // this pair reliably survives long enough to report its races.
+    spec.n = elide ? 512 : 1024;
+    spec.nprocs = elide ? 2 : 4;
+    spec.warmup_steps = 1;
+    spec.measured_steps = 1;
+    spec.race = true;
+    spec.bh.elide_locks = elide;
+    ExperimentRunner runner;
+    return runner.run(spec);
+  }
+};
+
+TEST_F(RaceMatrix, AllBuildersRaceFreeOnAllPlatforms) {
+  for (const char* platform :
+       {"challenge", "origin2000", "paragon", "typhoon0_hlrc", "typhoon0_sc"}) {
+    for (Algorithm alg : all_algorithms()) {
+      const ExperimentResult r = run_spec(platform, alg);
+      ASSERT_TRUE(r.race.enabled);
+      EXPECT_EQ(r.race.races, 0u)
+          << platform << "/" << algorithm_name(alg) << "\n"
+          << race::format_race_report(r.race);
+      EXPECT_GT(r.race.checked_writes, 0u);
+    }
+  }
+}
+
+TEST_F(RaceMatrix, SpaceBuildsWithZeroTreeLocks) {
+  // Paper §2.5: SPACE partitions space so "no synchronization is needed"
+  // during tree building. The detector proves it: not one lock acquisition
+  // in the tree-build phase, and still zero races.
+  const ExperimentResult r = run_spec("origin2000", Algorithm::kSpace);
+  EXPECT_EQ(r.race.races, 0u) << race::format_race_report(r.race);
+  EXPECT_EQ(r.treebuild_locks_total, 0u);
+}
+
+TEST_F(RaceMatrix, ElidedLocksProduceRaces) {
+  // Negative control: remove ORIG's insertion locks and the detector must
+  // fire (otherwise the 0-race results above prove nothing).
+  const ExperimentResult r = run_spec("challenge", Algorithm::kOrig, /*elide=*/true);
+  ASSERT_TRUE(r.race.enabled);
+  EXPECT_GE(r.race.races, 1u);
+  ASSERT_FALSE(r.race.top.empty());
+  EXPECT_FALSE(r.race.top[0].region.empty());
+}
+
+}  // namespace
+}  // namespace ptb
