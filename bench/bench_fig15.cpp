@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     struct Row {
       Algorithm alg;
       std::vector<std::uint64_t> locks;
+      WaitSummary wait;
     };
     std::vector<Row> rows;
     std::uint64_t max_locks = 0;
@@ -36,9 +37,21 @@ int main(int argc, char** argv) {
         max_locks = std::max(max_locks, locks);
       }
       t.add_row(row);
-      rows.push_back({alg, r.treebuild_locks_per_proc});
+      rows.push_back({alg, r.treebuild_locks_per_proc, r.lock_wait});
     }
     t.print();
+    std::printf("\n");
+
+    // Lock-wait latency view: the acquisition *counts* above drive waiting
+    // only through contention, so show the per-event wait quantiles too.
+    Table wt("Fig 15: per-event lock wait, " + platform);
+    wt.set_header({"algorithm", "events", "mean", "p50", "p95", "p99", "max"});
+    for (const Row& row : rows)
+      wt.add_row({algorithm_name(row.alg), std::to_string(row.wait.events),
+                  fmt_seconds(row.wait.mean_s), fmt_seconds(row.wait.p50_s),
+                  fmt_seconds(row.wait.p95_s), fmt_seconds(row.wait.p99_s),
+                  fmt_seconds(row.wait.max_s)});
+    wt.print();
     std::printf("\n");
 
     // Distribution view: how evenly the lock traffic spreads over the

@@ -9,7 +9,10 @@
 //   for a in ORIG LOCAL UPDATE PARTREE SPACE; do
 //     ./examples/ptbsim --platform typhoon0_hlrc --algorithm $a --n 16384 --csv
 //   done
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "harness/experiment.hpp"
@@ -49,13 +52,30 @@ int main(int argc, char** argv) {
   const bool csv_header = cli.get_bool("csv-header", false, "print the CSV header line");
   const std::string trace_path = trace::trace_path_from(cli.get_string(
       "trace", "", "write a Chrome trace-event JSON here (or set PTB_TRACE)"));
+  const std::string prof_path = prof::prof_path_from(cli.get_string(
+      "prof", "", "profile the run and write prof JSON here (or set PTB_PROF)"));
   cli.finish();
 
+  // Open output files up front so a bad path fails before the simulation
+  // runs, not after minutes of work.
+  const auto open_output = [](const std::string& path, const char* what) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ptbsim: cannot open %s output '%s': %s\n", what,
+                   path.c_str(), std::strerror(errno));
+      std::exit(1);
+    }
+    return f;
+  };
+  std::FILE* trace_out = trace_path.empty() ? nullptr : open_output(trace_path, "trace");
+  std::FILE* prof_out = prof_path.empty() ? nullptr : open_output(prof_path, "prof");
+
   std::unique_ptr<trace::Tracer> tracer;
-  if (!trace_path.empty()) {
+  if (trace_out != nullptr) {
     tracer = std::make_unique<trace::Tracer>(spec.nprocs);
     spec.tracer = tracer.get();
   }
+  spec.prof = prof_out != nullptr;
 
   if (csv_header) {
     std::printf("platform,algorithm,n,procs,seq_s,par_s,speedup,treebuild_s,"
@@ -73,10 +93,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", race::format_race_report(r.race).c_str());
 
   if (tracer != nullptr) {
-    if (!tracer->write_chrome_json(trace_path)) return 1;
+    tracer->write_chrome_json(trace_out);
+    std::fclose(trace_out);
     std::fprintf(stderr, "wrote %llu trace events to %s (load in Perfetto)\n",
                  static_cast<unsigned long long>(tracer->total_events()),
                  trace_path.c_str());
+  }
+  if (prof_out != nullptr) {
+    prof::write_profile_json(r.profile, prof_out);
+    std::fclose(prof_out);
+    std::fprintf(stderr, "wrote profile (%llu sync events) to %s\n",
+                 static_cast<unsigned long long>(r.profile.events),
+                 prof_path.c_str());
   }
 
   if (csv) {
@@ -131,5 +159,7 @@ int main(int argc, char** argv) {
   sync.add_row({"remote misses (hw)", std::to_string(r.mem.remote_misses)});
   sync.add_row({"invalidations sent (hw)", std::to_string(r.mem.invalidations_sent)});
   sync.print();
+
+  print_profile(r.profile);
   return exit_code;
 }

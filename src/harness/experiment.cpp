@@ -1,7 +1,11 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
+#include "prof/prof.hpp"
 #include "sim/sim_rt.hpp"
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
@@ -79,7 +83,9 @@ WaitSummary wait_summary(const Distribution& d) {
   if (w.events == 0) return w;
   w.mean_s = d.stat().mean() * 1e-9;
   w.max_s = d.stat().max() * 1e-9;
+  w.p50_s = d.p50() * 1e-9;
   w.p95_s = d.p95() * 1e-9;
+  w.p99_s = d.p99() * 1e-9;
   return w;
 }
 
@@ -124,6 +130,9 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
     spec.tracer->set_clock_domain("virtual");
     ctx.set_tracer(spec.tracer);
   }
+  prof::Recorder recorder;
+  const bool profiling = spec.prof || prof::default_prof_enabled();
+  if (profiling) ctx.set_profiler(&recorder);
 
   ExperimentResult out;
   {
@@ -186,6 +195,38 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   for (const MemCounterDesc& c : kMemCounters)
     out.mem.*c.field = static_cast<std::uint64_t>(
         out.metrics.sum(std::string("mem.") + c.metric));
+
+  if (spec.tracer != nullptr) {
+    std::uint64_t dropped_total = 0;
+    for (int p = 0; p < spec.tracer->nprocs(); ++p) {
+      const std::uint64_t d = spec.tracer->dropped(p);
+      dropped_total += d;
+      out.metrics.add("trace.dropped_events", trace::proc_label(p), static_cast<double>(d));
+    }
+    if (dropped_total != 0)
+      std::fprintf(stderr,
+                   "trace: %llu events dropped (buffers full) — the trace is a "
+                   "chronological prefix; raise capacity_per_proc for long runs\n",
+                   static_cast<unsigned long long>(dropped_total));
+  }
+
+  if (profiling) {
+    // Resolve tree-cell addresses from the builders' allocation bookkeeping.
+    // The lists describe the final step's tree; pools refill deterministically
+    // each step, so addresses keep their role across the measured steps.
+    prof::CellResolver cells;
+    for (const auto& lst : st.tree.created) {
+      for (const Node* nd : lst)
+        cells.add(nd, sizeof(Node), nd->level, nd->octant);
+    }
+    cells.finalize();
+    prof::ProfileOptions popts;
+    if (platform.remote_miss_ns > platform.local_miss_ns)
+      popts.remote_extra_ns =
+          static_cast<std::uint64_t>(std::llround(platform.remote_miss_ns - platform.local_miss_ns));
+    out.profile = prof::build_profile(recorder.capture(), cells, popts);
+    prof::ingest_profile_metrics(out.metrics, out.profile);
+  }
   return out;
 }
 

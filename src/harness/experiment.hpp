@@ -9,6 +9,7 @@
 
 #include "harness/app.hpp"
 #include "mem/model.hpp"
+#include "prof/profile.hpp"
 #include "race/race.hpp"
 #include "sim/sim_rt.hpp"
 #include "trace/metrics.hpp"
@@ -34,6 +35,10 @@ struct ExperimentSpec {
   /// in the environment enables it regardless of this flag. Virtual times
   /// are unchanged; ExperimentResult::race carries the findings.
   bool race = false;
+  /// Capture the run's dependency graph for critical-path / what-if
+  /// profiling (--prof / PTB_PROF). Virtual times are unchanged;
+  /// ExperimentResult::profile carries the analyses.
+  bool prof = false;
   BHConfig bh;  // n is overwritten from `n`
 };
 
@@ -42,7 +47,9 @@ struct WaitSummary {
   std::uint64_t events = 0;
   double mean_s = 0.0;
   double max_s = 0.0;
+  double p50_s = 0.0;
   double p95_s = 0.0;
+  double p99_s = 0.0;
 };
 
 struct ExperimentResult {
@@ -67,6 +74,9 @@ struct ExperimentResult {
   /// Data-race detector findings (enabled == false unless the run was under
   /// --race / PTB_RACE).
   race::RaceReport race;
+  /// Critical-path / contention / what-if profile (enabled == false unless
+  /// the run was under --prof / PTB_PROF).
+  prof::Profile profile;
   // Full per-phase breakdown.
   RunResult run;
   /// Every scalar above is derived from this registry (the single source of

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/table.hpp"
+
 namespace ptb {
 
 std::string fmt_speedup(double s) {
@@ -58,10 +60,11 @@ std::string fmt_breakdown(const Breakdown& b) {
 
 std::string fmt_wait(const WaitSummary& w) {
   if (w.events == 0) return "none";
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "mean=%s max=%s p95=%s (x%llu)",
-                fmt_seconds(w.mean_s).c_str(), fmt_seconds(w.max_s).c_str(),
-                fmt_seconds(w.p95_s).c_str(),
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "mean=%s p50=%s p95=%s p99=%s max=%s (x%llu)",
+                fmt_seconds(w.mean_s).c_str(), fmt_seconds(w.p50_s).c_str(),
+                fmt_seconds(w.p95_s).c_str(), fmt_seconds(w.p99_s).c_str(),
+                fmt_seconds(w.max_s).c_str(),
                 static_cast<unsigned long long>(w.events));
   return buf;
 }
@@ -82,6 +85,76 @@ std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r) {
     line += buf;
   }
   return line;
+}
+
+void print_profile(const prof::Profile& p) {
+  if (!p.enabled) return;
+  const double total_s = p.elapsed_ns * 1e-9;
+  const auto share = [&](std::uint64_t ns) {
+    return fmt_percent(p.elapsed_ns > 0 ? static_cast<double>(ns) /
+                                              static_cast<double>(p.elapsed_ns)
+                                        : 0.0);
+  };
+
+  Table cp("critical path (longest dependent chain through virtual time)");
+  cp.set_header({"entered via", "seconds", "share", "edges"});
+  cp.add_row({"run start", fmt_seconds(p.cp.via_start_ns * 1e-9),
+              share(p.cp.via_start_ns),
+              std::to_string(p.cp.segments.empty() ? 0 : 1)});
+  cp.add_row({"lock handoff", fmt_seconds(p.cp.via_lock_ns * 1e-9),
+              share(p.cp.via_lock_ns), std::to_string(p.cp.lock_edges)});
+  cp.add_row({"barrier release", fmt_seconds(p.cp.via_barrier_ns * 1e-9),
+              share(p.cp.via_barrier_ns), std::to_string(p.cp.barrier_edges)});
+  cp.add_row({"total", fmt_seconds(total_s), fmt_percent(1.0),
+              std::to_string(p.cp.segments.size()) + " segs"});
+  cp.print();
+
+  Table byphase("critical path by phase");
+  byphase.set_header({"phase", "seconds", "share", "via lock", "via barrier"});
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    const auto pi = static_cast<std::size_t>(ph);
+    if (p.cp.phase_ns[pi] == 0) continue;
+    byphase.add_row({phase_name(static_cast<Phase>(ph)),
+                     fmt_seconds(p.cp.phase_ns[pi] * 1e-9), share(p.cp.phase_ns[pi]),
+                     fmt_seconds(p.cp.phase_via_lock_ns[pi] * 1e-9),
+                     fmt_seconds(p.cp.phase_via_barrier_ns[pi] * 1e-9)});
+  }
+  byphase.print();
+
+  if (!p.locks.empty()) {
+    Table locks("top contended locks (whole run)");
+    locks.set_header(
+        {"lock", "depth", "acquires", "contended", "wait", "cp edges", "cp time"});
+    for (const prof::LockRow& lr : p.locks)
+      locks.add_row({lr.name, lr.depth >= 0 ? std::to_string(lr.depth) : "-",
+                     std::to_string(lr.acquires), std::to_string(lr.contended),
+                     fmt_seconds(lr.wait_ns * 1e-9), std::to_string(lr.cp_edges),
+                     fmt_seconds(lr.cp_ns * 1e-9)});
+    locks.print();
+  }
+
+  if (!p.depth.empty()) {
+    Table depth("contention by tree depth (measured tree-build phase)");
+    depth.set_header({"depth", "acquires", "contended", "lock wait", "remote misses",
+                      "invalidations", "mem stall"});
+    for (const prof::DepthRow& dr : p.depth)
+      depth.add_row({dr.depth >= 0 ? std::to_string(dr.depth) : "other",
+                     std::to_string(dr.acquires), std::to_string(dr.contended),
+                     fmt_seconds(dr.lock_wait_ns * 1e-9),
+                     std::to_string(dr.remote_misses),
+                     std::to_string(dr.invalidations),
+                     fmt_seconds(dr.mem_stall_ns * 1e-9)});
+    depth.print();
+  }
+
+  if (!p.whatifs.empty()) {
+    Table wi("causal what-if predictions (lower-bound estimates)");
+    wi.set_header({"scenario", "predicted", "speedup"});
+    for (const prof::WhatIf& w : p.whatifs)
+      wi.add_row({prof::scenario_name(w.scenario), fmt_seconds(w.predicted_ns * 1e-9),
+                  fmt_speedup(w.speedup)});
+    wi.print();
+  }
 }
 
 }  // namespace ptb

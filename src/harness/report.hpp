@@ -42,4 +42,9 @@ std::string fmt_wait(const WaitSummary& w);
 /// One-line summary of a run (used by examples and debugging).
 std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r);
 
+/// Prints the profiling tables (critical path with per-phase attribution,
+/// top contended locks, depth-bucketed contention, what-if predictions) to
+/// stdout. No-op when the profile is disabled.
+void print_profile(const prof::Profile& p);
+
 }  // namespace ptb

@@ -1,0 +1,148 @@
+#include "prof/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace ptb::prof {
+namespace {
+
+// Per-processor phase timeline: (start time, phase), chronological, starting
+// at (0, kOther) — warm-up work runs before the first begin_phase.
+std::vector<std::pair<std::uint64_t, Phase>> phase_timeline(const std::vector<Event>& log) {
+  std::vector<std::pair<std::uint64_t, Phase>> tl;
+  tl.emplace_back(0, Phase::kOther);
+  for (const Event& e : log) {
+    if (e.kind == EvKind::kPhase) tl.emplace_back(e.t0, e.phase);
+  }
+  return tl;
+}
+
+// Splits [begin, end) across the timeline's phase intervals.
+template <typename Fn>
+void slice_by_phase(const std::vector<std::pair<std::uint64_t, Phase>>& tl, std::uint64_t begin,
+                    std::uint64_t end, Fn&& fn) {
+  // First interval whose start is > begin, minus one, is where begin falls.
+  auto it = std::upper_bound(tl.begin(), tl.end(), begin,
+                             [](std::uint64_t t, const auto& iv) { return t < iv.first; });
+  PTB_CHECK(it != tl.begin());
+  --it;
+  std::uint64_t pos = begin;
+  while (pos < end) {
+    auto next = it + 1;
+    std::uint64_t stop = (next != tl.end()) ? std::min(end, next->first) : end;
+    if (stop > pos) fn(it->second, stop - pos);
+    pos = stop;
+    if (next == tl.end()) break;
+    it = next;
+  }
+}
+
+}  // namespace
+
+CriticalPath critical_path(const Capture& cap) {
+  CriticalPath cp;
+  if (cap.nprocs == 0) return cp;
+
+  // Latest jump event (an event that blocked) at index <= i, per proc.
+  std::vector<std::vector<std::int64_t>> prev_jump(static_cast<std::size_t>(cap.nprocs));
+  for (int p = 0; p < cap.nprocs; ++p) {
+    const auto& log = cap.log[static_cast<std::size_t>(p)];
+    auto& pj = prev_jump[static_cast<std::size_t>(p)];
+    pj.resize(log.size());
+    std::int64_t last = -1;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      if (log[i].waited()) last = static_cast<std::int64_t>(i);
+      pj[i] = last;
+    }
+  }
+
+  int p = 0;
+  for (int q = 1; q < cap.nprocs; ++q) {
+    if (cap.final_clock[static_cast<std::size_t>(q)] > cap.final_clock[static_cast<std::size_t>(p)])
+      p = q;
+  }
+  std::uint64_t t = cap.final_clock[static_cast<std::size_t>(p)];
+  cp.total_ns = t;
+  PTB_CHECK_MSG(!cap.log[static_cast<std::size_t>(p)].empty(),
+                "profiled run recorded no finish event");
+  std::int64_t idx =
+      static_cast<std::int64_t>(cap.log[static_cast<std::size_t>(p)].size()) - 1;
+
+  // Backward walk. Each hop moves to an operation that executed strictly
+  // earlier in the run's (sequentialized) virtual-order execution, so the
+  // walk terminates; the explicit bound turns a logic error into a check
+  // failure instead of a hang.
+  std::size_t hops_left = cap.total_events() + static_cast<std::size_t>(cap.nprocs) + 1;
+  for (;;) {
+    PTB_CHECK_MSG(hops_left-- > 0, "critical-path walk did not terminate");
+    const auto& log = cap.log[static_cast<std::size_t>(p)];
+    std::int64_t j = log.empty() ? -1 : prev_jump[static_cast<std::size_t>(p)][idx];
+    if (j < 0) {
+      cp.segments.push_back({p, 0, t, Segment::Via::kStart, 0});
+      break;
+    }
+    const Event& e = log[static_cast<std::size_t>(j)];
+    PTB_CHECK(e.t1 <= t);
+    Segment s;
+    s.proc = p;
+    s.begin_ns = e.t1;
+    s.end_ns = t;
+    s.via = e.kind == EvKind::kLock ? Segment::Via::kLock : Segment::Via::kBarrier;
+    s.obj = e.kind == EvKind::kLock ? e.obj : 0;
+    cp.segments.push_back(s);
+    p = e.cause;
+    idx = static_cast<std::int64_t>(e.cause_idx);
+    t = e.t1;
+  }
+  std::reverse(cp.segments.begin(), cp.segments.end());
+
+  // Attribution passes.
+  std::map<std::uint32_t, ObjectPath> by_obj;
+  std::vector<std::vector<std::pair<std::uint64_t, Phase>>> timelines(
+      static_cast<std::size_t>(cap.nprocs));
+  for (int q = 0; q < cap.nprocs; ++q)
+    timelines[static_cast<std::size_t>(q)] = phase_timeline(cap.log[static_cast<std::size_t>(q)]);
+
+  std::uint64_t sum = 0;
+  for (const Segment& s : cp.segments) {
+    sum += s.dur_ns();
+    switch (s.via) {
+      case Segment::Via::kStart:
+        cp.via_start_ns += s.dur_ns();
+        break;
+      case Segment::Via::kLock: {
+        cp.via_lock_ns += s.dur_ns();
+        ++cp.lock_edges;
+        ObjectPath& o = by_obj[s.obj];
+        o.obj = s.obj;
+        o.edges += 1;
+        o.ns += s.dur_ns();
+        break;
+      }
+      case Segment::Via::kBarrier:
+        cp.via_barrier_ns += s.dur_ns();
+        ++cp.barrier_edges;
+        break;
+    }
+    slice_by_phase(timelines[static_cast<std::size_t>(s.proc)], s.begin_ns, s.end_ns,
+                   [&](Phase ph, std::uint64_t ns) {
+                     auto pi = static_cast<std::size_t>(ph);
+                     cp.phase_ns[pi] += ns;
+                     if (s.via == Segment::Via::kLock) cp.phase_via_lock_ns[pi] += ns;
+                     if (s.via == Segment::Via::kBarrier) cp.phase_via_barrier_ns[pi] += ns;
+                   });
+  }
+  PTB_CHECK_MSG(sum == cp.total_ns, "critical-path segments do not tile the run");
+
+  cp.by_object.reserve(by_obj.size());
+  for (auto& [obj, op] : by_obj) cp.by_object.push_back(op);
+  std::sort(cp.by_object.begin(), cp.by_object.end(), [](const ObjectPath& a, const ObjectPath& b) {
+    if (a.ns != b.ns) return a.ns > b.ns;
+    return a.obj < b.obj;
+  });
+  return cp;
+}
+
+}  // namespace ptb::prof

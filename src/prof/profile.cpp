@@ -1,0 +1,243 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <map>
+
+#include "support/check.hpp"
+#include "trace/metrics.hpp"
+
+namespace ptb::prof {
+
+void CellResolver::add(const void* base, std::size_t bytes, int depth, int octant) {
+  PTB_CHECK(!finalized_);
+  Cell c;
+  c.begin = reinterpret_cast<std::uintptr_t>(base);
+  c.end = c.begin + bytes;
+  c.depth = static_cast<std::int16_t>(depth);
+  c.octant = static_cast<std::int16_t>(octant);
+  cells_.push_back(c);
+}
+
+void CellResolver::finalize() {
+  std::sort(cells_.begin(), cells_.end(),
+            [](const Cell& a, const Cell& b) { return a.begin < b.begin; });
+  finalized_ = true;
+}
+
+const CellResolver::Cell* CellResolver::resolve(const void* addr) const {
+  PTB_CHECK(finalized_);
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = std::upper_bound(cells_.begin(), cells_.end(), a,
+                             [](std::uintptr_t x, const Cell& c) { return x < c.begin; });
+  if (it == cells_.begin()) return nullptr;
+  --it;
+  return a < it->end ? &*it : nullptr;
+}
+
+namespace {
+
+std::string cell_name(const CellResolver::Cell* c) {
+  if (c == nullptr) return "other";
+  if (c->depth == 0) return "root";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%d.o%d", static_cast<int>(c->depth),
+                static_cast<int>(c->octant));
+  return buf;
+}
+
+}  // namespace
+
+Profile build_profile(const Capture& cap, const CellResolver& cells,
+                      const ProfileOptions& opts) {
+  Profile p;
+  p.enabled = true;
+  p.elapsed_ns = cap.elapsed_ns();
+  p.events = cap.total_events();
+  p.cp = critical_path(cap);
+
+  // Per-object lock totals (whole run) from the event logs.
+  std::vector<LockRow> rows(cap.objs.size());
+  for (std::size_t o = 0; o < cap.objs.size(); ++o) {
+    rows[o].obj = static_cast<std::uint32_t>(o);
+    const CellResolver::Cell* c = cells.empty() ? nullptr : cells.resolve(cap.objs[o]);
+    rows[o].name = cell_name(c);
+    rows[o].depth = c != nullptr ? c->depth : -1;
+  }
+  std::map<int, DepthRow> depth;
+  for (const auto& log : cap.log) {
+    for (const Event& e : log) {
+      if (e.kind != EvKind::kLock) continue;
+      LockRow& r = rows[e.obj];
+      r.acquires += 1;
+      if (e.waited()) {
+        r.contended += 1;
+        r.wait_ns += e.t1 - e.t0;
+      }
+      // The depth table covers the measured tree-build phase, where the
+      // cell-address mapping is exact.
+      if (e.phase == Phase::kTreeBuild) {
+        DepthRow& d = depth[r.depth];
+        d.depth = r.depth;
+        d.acquires += 1;
+        if (e.waited()) {
+          d.contended += 1;
+          d.lock_wait_ns += e.t1 - e.t0;
+        }
+      }
+    }
+  }
+  for (const ObjectPath& op : p.cp.by_object) {
+    rows[op.obj].cp_edges = op.edges;
+    rows[op.obj].cp_ns = op.ns;
+  }
+
+  // Tree-build memory charges per 64-byte line, resolved to cells.
+  for (const auto& [line, ls] : cap.lines) {
+    if (ls.tb_stall_ns == 0 && ls.tb_remote == 0 && ls.tb_inval == 0) continue;
+    const CellResolver::Cell* c =
+        cells.empty() ? nullptr : cells.resolve(reinterpret_cast<const void*>(line << 6));
+    int d = c != nullptr ? c->depth : -1;
+    DepthRow& row = depth[d];
+    row.depth = d;
+    row.remote_misses += ls.tb_remote;
+    row.invalidations += ls.tb_inval;
+    row.mem_stall_ns += ls.tb_stall_ns;
+  }
+
+  // Depth rows ascending, the unresolved bucket (-1) last.
+  for (const auto& [d, row] : depth) {
+    if (d >= 0) p.depth.push_back(row);
+  }
+  if (auto it = depth.find(-1); it != depth.end()) p.depth.push_back(it->second);
+
+  std::sort(rows.begin(), rows.end(), [](const LockRow& a, const LockRow& b) {
+    if (a.wait_ns != b.wait_ns) return a.wait_ns > b.wait_ns;
+    if (a.acquires != b.acquires) return a.acquires > b.acquires;
+    return a.obj < b.obj;
+  });
+  // Keep objects that saw lock traffic (fetch&add counters etc. intern ids
+  // too but never produce kLock events).
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [](const LockRow& r) { return r.acquires == 0; }),
+             rows.end());
+  if (rows.size() > opts.max_lock_rows) rows.resize(opts.max_lock_rows);
+  p.locks = std::move(rows);
+
+  if (opts.run_whatifs) {
+    // A faithful replay must land exactly on the recorded elapsed time;
+    // every profiled run re-validates the engine before predicting.
+    std::uint64_t check = replay(cap, Scenario::kNone);
+    PTB_CHECK_MSG(check == p.elapsed_ns,
+                  "what-if replay of the unmodified capture diverged from the run");
+    std::vector<std::pair<Scenario, std::uint64_t>> scen = {
+        {Scenario::kLocksFree, 0},
+        {Scenario::kBarriersFree, 0},
+        {Scenario::kAtomicsFree, 0},
+    };
+    if (opts.remote_extra_ns > 0) scen.emplace_back(Scenario::kRemoteLocal, opts.remote_extra_ns);
+    for (auto [s, extra] : scen) {
+      WhatIf w;
+      w.scenario = s;
+      w.predicted_ns = replay(cap, s, extra);
+      w.speedup = w.predicted_ns > 0
+                      ? static_cast<double>(p.elapsed_ns) / static_cast<double>(w.predicted_ns)
+                      : 1.0;
+      p.whatifs.push_back(w);
+    }
+  }
+  return p;
+}
+
+void write_profile_json(const Profile& p, std::FILE* f) {
+  std::fprintf(f, "{\n  \"prof\": {\n");
+  std::fprintf(f, "    \"elapsed_ns\": %" PRIu64 ",\n", p.elapsed_ns);
+  std::fprintf(f, "    \"events\": %zu,\n", p.events);
+  std::fprintf(f, "    \"critical_path\": {\n");
+  std::fprintf(f, "      \"total_ns\": %" PRIu64 ",\n", p.cp.total_ns);
+  std::fprintf(f, "      \"segments\": %zu,\n", p.cp.segments.size());
+  std::fprintf(f, "      \"lock_edges\": %" PRIu64 ",\n", p.cp.lock_edges);
+  std::fprintf(f, "      \"barrier_edges\": %" PRIu64 ",\n", p.cp.barrier_edges);
+  std::fprintf(f, "      \"via_start_ns\": %" PRIu64 ",\n", p.cp.via_start_ns);
+  std::fprintf(f, "      \"via_lock_ns\": %" PRIu64 ",\n", p.cp.via_lock_ns);
+  std::fprintf(f, "      \"via_barrier_ns\": %" PRIu64 ",\n", p.cp.via_barrier_ns);
+  std::fprintf(f, "      \"by_phase\": [");
+  for (int i = 0; i < kNumPhases; ++i) {
+    auto pi = static_cast<std::size_t>(i);
+    std::fprintf(f, "%s\n        {\"phase\": \"%s\", \"ns\": %" PRIu64
+                    ", \"via_lock_ns\": %" PRIu64 ", \"via_barrier_ns\": %" PRIu64 "}",
+                 i != 0 ? "," : "", phase_name(static_cast<Phase>(i)), p.cp.phase_ns[pi],
+                 p.cp.phase_via_lock_ns[pi], p.cp.phase_via_barrier_ns[pi]);
+  }
+  std::fprintf(f, "\n      ]\n    },\n");
+  std::fprintf(f, "    \"locks\": [");
+  for (std::size_t i = 0; i < p.locks.size(); ++i) {
+    const LockRow& r = p.locks[i];
+    std::fprintf(f, "%s\n      {\"name\": \"%s\", \"depth\": %d, \"acquires\": %" PRIu64
+                    ", \"contended\": %" PRIu64 ", \"wait_ns\": %" PRIu64
+                    ", \"cp_edges\": %" PRIu64 ", \"cp_ns\": %" PRIu64 "}",
+                 i != 0 ? "," : "", r.name.c_str(), r.depth, r.acquires, r.contended, r.wait_ns,
+                 r.cp_edges, r.cp_ns);
+  }
+  std::fprintf(f, "\n    ],\n");
+  std::fprintf(f, "    \"depth_contention\": [");
+  for (std::size_t i = 0; i < p.depth.size(); ++i) {
+    const DepthRow& d = p.depth[i];
+    std::fprintf(f, "%s\n      {\"depth\": %d, \"acquires\": %" PRIu64 ", \"contended\": %" PRIu64
+                    ", \"lock_wait_ns\": %" PRIu64 ", \"remote_misses\": %" PRIu64
+                    ", \"invalidations\": %" PRIu64 ", \"mem_stall_ns\": %" PRIu64 "}",
+                 i != 0 ? "," : "", d.depth, d.acquires, d.contended, d.lock_wait_ns,
+                 d.remote_misses, d.invalidations, d.mem_stall_ns);
+  }
+  std::fprintf(f, "\n    ],\n");
+  std::fprintf(f, "    \"whatif\": [");
+  for (std::size_t i = 0; i < p.whatifs.size(); ++i) {
+    const WhatIf& w = p.whatifs[i];
+    std::fprintf(f, "%s\n      {\"scenario\": \"%s\", \"predicted_ns\": %" PRIu64
+                    ", \"speedup\": %.4f}",
+                 i != 0 ? "," : "", scenario_name(w.scenario), w.predicted_ns, w.speedup);
+  }
+  std::fprintf(f, "\n    ]\n  }\n}\n");
+}
+
+std::string profile_json(const Profile& p) {
+  std::FILE* f = std::tmpfile();
+  PTB_CHECK_MSG(f != nullptr, "prof: cannot create temporary file");
+  write_profile_json(p, f);
+  long size = std::ftell(f);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::rewind(f);
+  std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return out;
+}
+
+void ingest_profile_metrics(trace::MetricsRegistry& m, const Profile& p) {
+  m.set("prof.elapsed_ns", {}, static_cast<double>(p.elapsed_ns));
+  m.set("prof.critical_path_ns", {}, static_cast<double>(p.cp.total_ns));
+  m.set("prof.cp_lock_edges", {}, static_cast<double>(p.cp.lock_edges));
+  m.set("prof.cp_barrier_edges", {}, static_cast<double>(p.cp.barrier_edges));
+  m.set("prof.cp_ns", {{"via", "start"}}, static_cast<double>(p.cp.via_start_ns));
+  m.set("prof.cp_ns", {{"via", "lock"}}, static_cast<double>(p.cp.via_lock_ns));
+  m.set("prof.cp_ns", {{"via", "barrier"}}, static_cast<double>(p.cp.via_barrier_ns));
+  for (int i = 0; i < kNumPhases; ++i) {
+    auto pi = static_cast<std::size_t>(i);
+    const char* ph = phase_name(static_cast<Phase>(i));
+    m.set("prof.cp_phase_ns", {{"phase", ph}}, static_cast<double>(p.cp.phase_ns[pi]));
+    m.set("prof.cp_phase_via_lock_ns", {{"phase", ph}},
+          static_cast<double>(p.cp.phase_via_lock_ns[pi]));
+  }
+  for (const DepthRow& d : p.depth) {
+    std::string key = d.depth >= 0 ? std::to_string(d.depth) : "other";
+    m.set("prof.depth_lock_wait_ns", {{"depth", key}}, static_cast<double>(d.lock_wait_ns));
+    m.set("prof.depth_contended", {{"depth", key}}, static_cast<double>(d.contended));
+    m.set("prof.depth_remote_misses", {{"depth", key}}, static_cast<double>(d.remote_misses));
+  }
+  for (const WhatIf& w : p.whatifs) {
+    m.set("prof.whatif_ns", {{"scenario", scenario_name(w.scenario)}},
+          static_cast<double>(w.predicted_ns));
+  }
+}
+
+}  // namespace ptb::prof

@@ -1,0 +1,113 @@
+// Assembles a prof::Capture into the report-facing Profile: the critical
+// path with per-phase/per-object attribution, the per-lock contention table
+// with tree-cell names, the depth-bucketed contention table (the paper's
+// root-contention claim measured directly), and the what-if predictions.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "prof/critical_path.hpp"
+#include "prof/prof.hpp"
+#include "prof/whatif.hpp"
+
+namespace ptb::prof {
+
+/// Maps host addresses back to tree cells. The harness populates it from
+/// the builders' per-processor created-node bookkeeping after a run; the
+/// mapping reflects the final step's tree (node pools are reset and refilled
+/// deterministically each step, so earlier measured steps resolve to cells
+/// of the same role).
+class CellResolver {
+ public:
+  struct Cell {
+    std::uintptr_t begin = 0;
+    std::uintptr_t end = 0;
+    std::int16_t depth = 0;
+    std::int16_t octant = 0;
+  };
+
+  void add(const void* base, std::size_t bytes, int depth, int octant);
+  void finalize();  // sort; call once after the last add()
+  /// nullptr when the address is not inside a known cell (lock-table
+  /// buckets, body arrays, counters).
+  const Cell* resolve(const void* addr) const;
+  bool empty() const { return cells_.empty(); }
+
+ private:
+  std::vector<Cell> cells_;
+  bool finalized_ = false;
+};
+
+/// One sync object's contention totals over the whole run, joined with its
+/// share of the critical path.
+struct LockRow {
+  std::uint32_t obj = 0;
+  std::string name;  // "root", "d<depth>.o<octant>", or "other"
+  int depth = -1;    // -1 = not a tree cell
+  std::uint64_t acquires = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t cp_edges = 0;  // critical-path handoffs through this object
+  std::uint64_t cp_ns = 0;     // path time those handoffs started
+};
+
+/// Contention bucketed by tree depth over the measured tree-build phase.
+struct DepthRow {
+  int depth = -1;  // -1 = addresses outside known cells
+  std::uint64_t acquires = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t remote_misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t mem_stall_ns = 0;
+};
+
+struct WhatIf {
+  Scenario scenario = Scenario::kNone;
+  std::uint64_t predicted_ns = 0;
+  double speedup = 1.0;  // recorded elapsed / predicted
+};
+
+struct Profile {
+  bool enabled = false;
+  std::uint64_t elapsed_ns = 0;
+  std::size_t events = 0;
+  CriticalPath cp;
+  std::vector<LockRow> locks;    // descending by wait_ns
+  std::vector<DepthRow> depth;   // ascending depth, unresolved bucket last
+  std::vector<WhatIf> whatifs;
+};
+
+struct ProfileOptions {
+  /// Latency removed per remote miss under kRemoteLocal (platform remote
+  /// minus local miss ns); 0 skips that scenario.
+  std::uint64_t remote_extra_ns = 0;
+  bool run_whatifs = true;
+  /// Per-object rows kept in Profile::locks (all objects feed the depth
+  /// table regardless).
+  std::size_t max_lock_rows = 16;
+};
+
+/// Runs the analyses. Also validates the replay engine: a faithful replay
+/// of `cap` must reproduce the recorded elapsed time exactly (checked).
+Profile build_profile(const Capture& cap, const CellResolver& cells,
+                      const ProfileOptions& opts);
+
+/// Serializes the profile as JSON (consumed by tools/prof_report.py).
+void write_profile_json(const Profile& p, std::FILE* f);
+std::string profile_json(const Profile& p);
+
+}  // namespace ptb::prof
+
+namespace ptb::trace {
+class MetricsRegistry;
+}
+
+namespace ptb::prof {
+/// Publishes prof.* metrics (critical-path totals, per-depth lock waits,
+/// what-if predictions) into the run's registry.
+void ingest_profile_metrics(trace::MetricsRegistry& m, const Profile& p);
+}  // namespace ptb::prof

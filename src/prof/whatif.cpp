@@ -1,0 +1,179 @@
+#include "prof/whatif.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ptb::prof {
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kNone: return "none";
+    case Scenario::kLocksFree: return "locks_free";
+    case Scenario::kBarriersFree: return "barriers_free";
+    case Scenario::kAtomicsFree: return "atomics_free";
+    case Scenario::kRemoteLocal: return "remote_local";
+  }
+  return "?";
+}
+
+namespace {
+
+struct LockQ {
+  bool held = false;
+  std::vector<std::pair<std::uint64_t, int>> waiters;  // (replay request time, proc)
+};
+
+}  // namespace
+
+std::uint64_t replay(const Capture& cap, Scenario s, std::uint64_t remote_extra_ns) {
+  const bool locks_free = s == Scenario::kLocksFree;
+  const bool barriers_free = s == Scenario::kBarriersFree;
+  const bool atomics_free = s == Scenario::kAtomicsFree;
+  const std::uint64_t extra = s == Scenario::kRemoteLocal ? remote_extra_ns : 0;
+  const auto n = static_cast<std::size_t>(cap.nprocs);
+
+  std::vector<std::uint64_t> clock(n, 0);
+  std::vector<std::size_t> next(n, 0);          // index of the next event to execute
+  std::vector<std::uint64_t> prev_end(n, 0);    // recorded t2 of the last executed event
+  std::vector<std::uint64_t> prev_remote(n, 0); // recorded remote count at that event
+  std::vector<LockQ> locks(cap.objs.size());
+  std::vector<std::pair<std::uint64_t, int>> arrived;  // (arrival, proc) at the barrier
+  int alive = cap.nprocs;
+  std::uint64_t finish = 0;
+
+  // (arrival time at next event, proc); ties go to the lower processor id,
+  // matching the simulator's (clock, proc) execution order.
+  using Entry = std::pair<std::uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+
+  // Inter-event work is the recorded clock advance between the previous
+  // event's end and this event's start; under kRemoteLocal each remote miss
+  // in the gap is re-priced at the local latency.
+  auto schedule = [&](int p) {
+    auto pi = static_cast<std::size_t>(p);
+    PTB_CHECK_MSG(next[pi] < cap.log[pi].size(), "processor log ended without a finish event");
+    const Event& e = cap.log[pi][next[pi]];
+    std::uint64_t work = e.t0 - prev_end[pi];
+    if (extra > 0) {
+      std::uint64_t saved = (e.remote - prev_remote[pi]) * extra;
+      work = work > saved ? work - saved : 0;
+    }
+    ready.emplace(clock[pi] + work, p);
+  };
+
+  auto retire = [&](int p, const Event& e) {
+    auto pi = static_cast<std::size_t>(p);
+    prev_end[pi] = e.t2;
+    prev_remote[pi] = e.remote;
+    ++next[pi];
+  };
+
+  auto release_barrier_if_full = [&] {
+    if (barriers_free || arrived.empty() ||
+        arrived.size() != static_cast<std::size_t>(alive))
+      return;
+    std::uint64_t release = 0;
+    for (const auto& [at, q] : arrived) release = std::max(release, at);
+    for (const auto& [at, q] : arrived) {
+      auto qi = static_cast<std::size_t>(q);
+      const Event& e = cap.log[qi][next[qi]];
+      clock[qi] = release + (e.t2 - e.t1);  // depart-side protocol charge
+      retire(q, e);
+      schedule(q);
+    }
+    arrived.clear();
+  };
+
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!cap.log[p].empty()) schedule(static_cast<int>(p));
+  }
+
+  while (!ready.empty()) {
+    auto [t, p] = ready.top();
+    ready.pop();
+    auto pi = static_cast<std::size_t>(p);
+    clock[pi] = t;
+    const Event& e = cap.log[pi][next[pi]];
+    switch (e.kind) {
+      case EvKind::kLock: {
+        if (locks_free) {
+          retire(p, e);
+          schedule(p);
+          break;
+        }
+        LockQ& q = locks[e.obj];
+        if (!q.held) {
+          q.held = true;
+          clock[pi] += e.t2 - e.t1;  // acquire-side protocol charge
+          retire(p, e);
+          schedule(p);
+        } else {
+          q.waiters.emplace_back(t, p);  // blocked: re-scheduled by the grant
+        }
+        break;
+      }
+      case EvKind::kUnlock: {
+        if (!locks_free) {
+          clock[pi] += e.t2 - e.t0;  // release-side protocol charge
+          LockQ& q = locks[e.obj];
+          if (!q.waiters.empty()) {
+            // Grant to the earliest request (ties: lower proc), as the
+            // simulator does; the lock stays held by the waiter.
+            auto best = std::min_element(q.waiters.begin(), q.waiters.end());
+            int w = best->second;
+            auto wi = static_cast<std::size_t>(w);
+            std::uint64_t grant = std::max(best->first, clock[pi]);
+            q.waiters.erase(best);
+            const Event& we = cap.log[wi][next[wi]];
+            clock[wi] = grant + (we.t2 - we.t1);
+            retire(w, we);
+            schedule(w);
+          } else {
+            q.held = false;
+          }
+        }
+        retire(p, e);
+        schedule(p);
+        break;
+      }
+      case EvKind::kRmw: {
+        if (!atomics_free) clock[pi] += e.t2 - e.t0;
+        retire(p, e);
+        schedule(p);
+        break;
+      }
+      case EvKind::kBarrier: {
+        clock[pi] += e.ta - e.t0;  // arrive-side protocol charge
+        if (barriers_free) {
+          clock[pi] += e.t2 - e.t1;  // depart-side protocol charge
+          retire(p, e);
+          schedule(p);
+          break;
+        }
+        arrived.emplace_back(clock[pi], p);
+        release_barrier_if_full();
+        break;
+      }
+      case EvKind::kPhase: {
+        retire(p, e);
+        schedule(p);
+        break;
+      }
+      case EvKind::kFinish: {
+        finish = std::max(finish, clock[pi]);
+        --alive;
+        ++next[pi];
+        // A finish can complete a barrier the remaining processors wait in.
+        release_barrier_if_full();
+        break;
+      }
+    }
+  }
+  PTB_CHECK_MSG(alive == 0, "what-if replay deadlocked (capture inconsistent)");
+  return finish;
+}
+
+}  // namespace ptb::prof

@@ -1,0 +1,53 @@
+// Causal "what-if" prediction over a prof::Capture (COZ-style).
+//
+// The capture is a complete dependency graph of the run: per-processor
+// event chains, lock request→grant orders, barrier memberships, and the
+// work (clock advance) between consecutive events. `replay` re-executes
+// that graph as a tiny discrete-event simulation — same grant rule
+// (earliest request, ties to the lower processor id), same barrier release
+// rule (all live processors arrived, release at the latest arrival) — and
+// returns the predicted completion time. Replaying an unmodified capture
+// reproduces the recorded elapsed time *exactly*; this invariant is checked
+// on every profiled run, so scenario predictions start from a validated
+// baseline.
+//
+// Scenarios zero one edge class:
+//   kLocksFree     acquires never block or charge, releases are free —
+//                  mirrors the builders' --elide-locks fault injection,
+//                  which skips the runtime lock call entirely;
+//   kBarriersFree  arrivals never wait for the last arriver (protocol
+//                  charges stay);
+//   kAtomicsFree   fetch&add charges dropped;
+//   kRemoteLocal   remote misses re-priced at the local-miss latency: each
+//                  inter-event work gap shrinks by (misses in the gap) ×
+//                  (remote − local) ns.
+//
+// Predictions are causal *lower-bound estimates*: removing an edge class in
+// the replay cannot change which events a processor executes, whereas the
+// real modified program could take different branches (e.g. eliding locks
+// changes interleavings and may corrupt the tree). The validation bar — the
+// kLocksFree prediction vs a real --elide-locks run — is enforced by test.
+#pragma once
+
+#include <cstdint>
+
+#include "prof/prof.hpp"
+
+namespace ptb::prof {
+
+enum class Scenario : std::uint8_t {
+  kNone = 0,      // faithful replay; must equal the recorded elapsed time
+  kLocksFree,
+  kBarriersFree,
+  kAtomicsFree,
+  kRemoteLocal,
+};
+
+const char* scenario_name(Scenario s);
+
+/// Predicted elapsed virtual time of the recorded run under `s`.
+/// `remote_extra_ns` (kRemoteLocal only) is the per-miss latency removed:
+/// remote-miss ns minus local-miss ns on the modeled platform.
+std::uint64_t replay(const Capture& cap, Scenario s, std::uint64_t remote_extra_ns = 0);
+
+}  // namespace ptb::prof

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "prof/prof.hpp"
 #include "race/race.hpp"
 #include "support/check.hpp"
 #include "trace/trace.hpp"
@@ -105,6 +106,15 @@ void SimContext::reset_run_state() {
   barrier_arrived_ = 0;
   heap_.init(nprocs_);
   for (int p = 0; p < nprocs_; ++p) heap_.push(p, 0);
+  if (prof_ != nullptr) prof_->begin_run(nprocs_);
+}
+
+void SimContext::prof_note_charge(int p, const void* addr, const MemProcStats& before,
+                                  std::uint64_t clock_before) {
+  const MemProcStats& after = mem_->proc_stats(p);
+  prof_->charge(p, addr, clock_[static_cast<std::size_t>(p)] - clock_before,
+                after.remote_misses - before.remote_misses,
+                after.invalidations_sent - before.invalidations_sent);
 }
 
 void SimContext::run_impl(const std::function<void(SimProc&)>& f) {
@@ -124,6 +134,8 @@ void SimContext::finish_proc(int p) {
   stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
   phase_mark_[idx] = clock_[idx];
+  if (prof_ != nullptr)
+    prof_->finish(p, clock_[idx], mem_->proc_stats(p).remote_misses);
   leave_active(p, Status::kDone);
   maybe_release_barrier();
 }
@@ -295,6 +307,15 @@ bool SimContext::maybe_release_barrier() {
     if (status_[static_cast<std::size_t>(q)] == Status::kInBarrier)
       release = std::max(release, barrier_arrival_[static_cast<std::size_t>(q)]);
   }
+  if (prof_ != nullptr) {
+    // The last arriver (earliest id on ties) is the release's cause.
+    int last = -1;
+    for (int q = 0; q < nprocs_ && last < 0; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (status_[qi] == Status::kInBarrier && barrier_arrival_[qi] == release) last = q;
+    }
+    prof_->barrier_release(release, last);
+  }
   for (int q = 0; q < nprocs_; ++q) {
     const auto qi = static_cast<std::size_t>(q);
     if (status_[qi] != Status::kInBarrier) continue;
@@ -325,11 +346,16 @@ void SimContext::op_lock(int p, const void* addr) {
   if (!ls.held) {
     ls.held = true;
     ls.holder = p;
+    const std::uint64_t t0 = clock_[idx];
     charge_model(p,
                  [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, addr, now); });
+    if (prof_ != nullptr)
+      prof_->lock_acquired(p, addr, t0, clock_[idx], phase_[idx],
+                           mem_->proc_stats(p).remote_misses);
     return;
   }
   const std::uint64_t request_ns = clock_[idx];
+  if (prof_ != nullptr) prof_->lock_wait_begin(p, addr, request_ns, phase_[idx]);
   ls.waiters.emplace_back(request_ns, p);
   leave_active(p, Status::kBlockedLock);
   wait_lock_grant(l, p);
@@ -346,6 +372,8 @@ void SimContext::op_lock(int p, const void* addr) {
   wait_for_turn(l, p);
   charge_model(p,
                [&](MemModel& m, std::uint64_t now) { return m.on_acquire(p, addr, now); });
+  if (prof_ != nullptr)
+    prof_->lock_acquired_end(p, clock_[idx], mem_->proc_stats(p).remote_misses);
 }
 
 void SimContext::op_unlock(int p, const void* addr) {
@@ -357,8 +385,12 @@ void SimContext::op_unlock(int p, const void* addr) {
   PTB_CHECK_MSG(it != locks_.end() && it->second.held && it->second.holder == p,
                 "unlock of a lock not held by this processor");
   LockState& ls = it->second;
+  const std::uint64_t u0 = clock_[idx];
   charge_model(p,
                [&](MemModel& m, std::uint64_t now) { return m.on_release(p, addr, now); });
+  if (prof_ != nullptr)
+    prof_->unlock(p, addr, u0, clock_[idx], phase_[idx],
+                  mem_->proc_stats(p).remote_misses);
   if (ls.waiters.empty()) {
     ls.held = false;
     ls.holder = -1;
@@ -370,6 +402,11 @@ void SimContext::op_unlock(int p, const void* addr) {
     ls.holder = w;
     const auto widx = static_cast<std::size_t>(w);
     clock_[widx] = std::max(clock_[widx], clock_[idx]);
+    // Record the handoff edge (after the unlock event above, whose log
+    // index the edge references).
+    if (prof_ != nullptr) prof_->lock_grant(w, p, clock_[widx]);
+    if (tracer_ != nullptr)
+      tracer_->flow(p, w, trace::kCatSync, "lock-handoff", clock_[idx], clock_[widx]);
     set_active(w);
     lock_granted_[widx] = 1;
   }
@@ -381,9 +418,11 @@ void SimContext::op_barrier(int p) {
   flush_pending(p);
   ++stats_[idx].barriers;
   wait_for_turn(l, p);
+  const std::uint64_t b0 = clock_[idx];
   charge_model(p,
                [&](MemModel& m, std::uint64_t now) { return m.on_barrier_arrive(p, now); });
   barrier_arrival_[idx] = clock_[idx];
+  if (prof_ != nullptr) prof_->barrier_arrive(p, b0, clock_[idx], phase_[idx]);
   leave_active(p, Status::kInBarrier);
   ++barrier_arrived_;
   const std::uint64_t gen = barrier_generation_;
@@ -393,6 +432,8 @@ void SimContext::op_barrier(int p) {
   wait_for_turn(l, p);
   charge_model(p,
                [&](MemModel& m, std::uint64_t now) { return m.on_barrier_depart(p, now); });
+  if (prof_ != nullptr)
+    prof_->barrier_depart(p, clock_[idx], mem_->proc_stats(p).remote_misses);
 }
 
 void SimContext::op_begin_phase(int p, Phase ph) {
@@ -406,6 +447,8 @@ void SimContext::op_begin_phase(int p, Phase ph) {
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
   phase_mark_[idx] = clock_[idx];
   phase_[idx] = ph;
+  if (prof_ != nullptr)
+    prof_->phase_begin(p, ph, clock_[idx], mem_->proc_stats(p).remote_misses);
   mem_->on_phase(p, ph);  // report metadata only; a no-op for protocol models
 }
 
@@ -434,14 +477,20 @@ void SimProc::read_shared(const void* p, std::size_t n) {
   SimContext& ctx = *ctx_;
   const auto idx = static_cast<std::size_t>(self_);
   std::uint64_t cost;
-  if (ctx.tracer_ != nullptr) {
+  if (ctx.tracer_ != nullptr || ctx.prof_ != nullptr) {
     // Snapshot-and-diff around the model call so misses on the fast path
     // show up as instants too. Timestamps are approximate (the pending
-    // bucket has not been folded into the clock yet).
+    // bucket has not been folded into the clock yet). Both backends
+    // serialize host execution, so the observers need no locking here.
     const MemProcStats snap = ctx.mem_->proc_stats(self_);
     cost = ctx.mem_->on_read_shared(self_, p, n);
-    trace_mem_events(*ctx.tracer_, self_, snap, ctx.mem_->proc_stats(self_),
-                     ctx.clock_[idx] + ctx.pending_[idx]);
+    const MemProcStats& after = ctx.mem_->proc_stats(self_);
+    if (ctx.tracer_ != nullptr)
+      trace_mem_events(*ctx.tracer_, self_, snap, after,
+                       ctx.clock_[idx] + ctx.pending_[idx]);
+    if (ctx.prof_ != nullptr)
+      ctx.prof_->charge(self_, p, cost, after.remote_misses - snap.remote_misses,
+                        after.invalidations_sent - snap.invalidations_sent);
   } else {
     cost = ctx.mem_->on_read_shared(self_, p, n);
   }
@@ -455,12 +504,17 @@ void SimProc::unlock(const void* addr) { ctx_->op_unlock(self_, addr); }
 
 std::int64_t SimProc::fetch_add(std::atomic<std::int64_t>& ctr, std::int64_t v) {
   SimContext::OpLock l(*ctx_);
+  const auto idx = static_cast<std::size_t>(self_);
   ctx_->flush_pending(self_);
-  ++ctx_->stats_[static_cast<std::size_t>(self_)].fetch_adds;
+  ++ctx_->stats_[idx].fetch_adds;
   ctx_->wait_for_turn(l, self_);
+  const std::uint64_t t0 = ctx_->clock_[idx];
   ctx_->charge_model(self_, [&](MemModel& m, std::uint64_t now) {
     return m.on_rmw(self_, &ctr, now);
   });
+  if (ctx_->prof_ != nullptr)
+    ctx_->prof_->fetch_add(self_, &ctr, t0, ctx_->clock_[idx], ctx_->phase_[idx],
+                           ctx_->mem_->proc_stats(self_).remote_misses);
   return ctr.fetch_add(v, std::memory_order_relaxed);
 }
 

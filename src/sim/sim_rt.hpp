@@ -68,6 +68,10 @@ class RaceModel;
 struct RaceReport;
 }  // namespace race
 
+namespace prof {
+class Recorder;
+}  // namespace prof
+
 /// How SimContext::run executes the simulated processors.
 enum class SimBackend { kFibers, kThreads };
 
@@ -153,6 +157,17 @@ class SimContext {
   void set_tracer(trace::Tracer* t);
   trace::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a profiling recorder (null detaches). The recorder captures
+  /// the run's dependency graph — lock request→grant handoffs, barrier
+  /// releases, fetch&adds, phase changes, per-line memory charges — for
+  /// critical-path and what-if analysis (src/prof/). Pure observer: it only
+  /// reads virtual times the simulator already computed, so profiled runs
+  /// are bit-identical to unprofiled ones, and with no recorder attached
+  /// the hot path pays a single branch per operation. Must outlive the
+  /// context.
+  void set_profiler(prof::Recorder* r) { prof_ = r; }
+  prof::Recorder* profiler() const { return prof_; }
+
   /// Runs f(SimProc&) SPMD on nprocs simulated processors, returning when
   /// all of them finish.
   template <class F>
@@ -180,9 +195,17 @@ class SimContext {
     OpLock l(*this);
     flush_pending(p);
     wait_for_turn(l, p);
-    charge_model(p, [&](MemModel& m, std::uint64_t now) {
+    auto call = [&](MemModel& m, std::uint64_t now) {
       return m.on_atomic(p, sync, is_write, addr, n, now);
-    });
+    };
+    if (prof_ == nullptr) {
+      charge_model(p, call);
+    } else {
+      const MemProcStats before = mem_->proc_stats(p);
+      const std::uint64_t c0 = clock_[static_cast<std::size_t>(p)];
+      charge_model(p, call);
+      prof_note_charge(p, addr, before, c0);
+    }
     return f();
   }
 
@@ -283,10 +306,22 @@ class SimContext {
   }
   /// charge_model for a plain ordered read/write of [addr, addr+n).
   void ordered_charge(int p, const void* addr, std::size_t n, bool is_write) {
-    charge_model(p, [&](MemModel& m, std::uint64_t now) {
+    auto call = [&](MemModel& m, std::uint64_t now) {
       return is_write ? m.on_write(p, addr, n, now) : m.on_read(p, addr, n, now);
-    });
+    };
+    if (prof_ == nullptr) {
+      charge_model(p, call);
+      return;
+    }
+    const MemProcStats before = mem_->proc_stats(p);
+    const std::uint64_t c0 = clock_[static_cast<std::size_t>(p)];
+    charge_model(p, call);
+    prof_note_charge(p, addr, before, c0);
   }
+  /// Profiling on: records one charged access (cost and remote-miss /
+  /// invalidation deltas) into the recorder's per-line table.
+  void prof_note_charge(int p, const void* addr, const MemProcStats& before,
+                        std::uint64_t clock_before);
   void op_lock(int p, const void* addr);
   void op_unlock(int p, const void* addr);
   void op_barrier(int p);
@@ -301,6 +336,8 @@ class SimContext {
   race::RaceModel* race_model_ = nullptr;
   /// Opt-in observability (null = disabled; the common case).
   trace::Tracer* tracer_ = nullptr;
+  /// Opt-in dependency-graph capture for ptb::prof (null = disabled).
+  prof::Recorder* prof_ = nullptr;
 
   /// The Active set ordered by (virtual clock, processor id): top() is the
   /// one processor allowed past its next ordering point. Maintained by every

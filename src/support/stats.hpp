@@ -77,7 +77,9 @@ class Distribution {
   /// Approximate quantile (q in [0, 1]): linear interpolation inside the
   /// containing power-of-two bucket, clamped to the observed [min, max].
   double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 
   std::uint64_t bucket_count(int i) const {
     return buckets_[static_cast<std::size_t>(i)];

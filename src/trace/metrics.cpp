@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "support/check.hpp"
+
 namespace ptb::trace {
 
 Labels proc_label(int proc) { return {{"proc", std::to_string(proc)}}; }
@@ -45,21 +47,33 @@ bool MetricsRegistry::key_matches(const std::string& key, const std::string& nam
 }
 
 void MetricsRegistry::add(const std::string& name, const Labels& labels, double v) {
-  values_[key_of(name, labels)] += v;
+  const std::string key = key_of(name, labels);
+  PTB_CHECK_MSG(dists_.find(key) == dists_.end(),
+                "metric cell already registered as a distribution");
+  values_[key] += v;
 }
 
 void MetricsRegistry::set(const std::string& name, const Labels& labels, double v) {
-  values_[key_of(name, labels)] = v;
+  const std::string key = key_of(name, labels);
+  PTB_CHECK_MSG(dists_.find(key) == dists_.end(),
+                "metric cell already registered as a distribution");
+  values_[key] = v;
 }
 
 void MetricsRegistry::record(const std::string& name, const Labels& labels,
                              double sample) {
-  dists_[key_of(name, labels)].add(sample);
+  const std::string key = key_of(name, labels);
+  PTB_CHECK_MSG(values_.find(key) == values_.end(),
+                "metric cell already registered as a counter/gauge");
+  dists_[key].add(sample);
 }
 
 void MetricsRegistry::record_all(const std::string& name, const Labels& labels,
                                  const Distribution& d) {
-  dists_[key_of(name, labels)].merge(d);
+  const std::string key = key_of(name, labels);
+  PTB_CHECK_MSG(values_.find(key) == values_.end(),
+                "metric cell already registered as a counter/gauge");
+  dists_[key].merge(d);
 }
 
 double MetricsRegistry::value(const std::string& name, const Labels& labels) const {

@@ -22,6 +22,7 @@ std::uint64_t Tracer::total_events() const {
 void Tracer::clear() {
   for (auto& b : buffers_) b.clear();
   dropped_.assign(dropped_.size(), 0);
+  next_flow_id_ = 0;
 }
 
 void Tracer::write_chrome_json(std::FILE* f) const {
@@ -51,7 +52,15 @@ void Tracer::write_chrome_json(std::FILE* f) const {
     for (const Event& e : events(p)) {
       sep();
       const double ts_us = static_cast<double>(e.ts_ns) * 1e-3;
-      if (e.count == 0) {
+      if (e.flow_ph != 0) {
+        // Flow halves: "s" on the source track, "f" (binding to the
+        // enclosing slice's end) on the sink track, joined by id.
+        std::fprintf(f,
+                     "{\"ph\": \"%c\", %s\"pid\": 0, \"tid\": %d, \"name\": \"%s\", "
+                     "\"cat\": \"%s\", \"ts\": %.3f, \"id\": %u}",
+                     e.flow_ph, e.flow_ph == 'f' ? "\"bp\": \"e\", " : "", p, e.name,
+                     e.cat, ts_us, e.flow_id);
+      } else if (e.count == 0) {
         std::fprintf(f,
                      "{\"ph\": \"X\", \"pid\": 0, \"tid\": %d, \"name\": \"%s\", "
                      "\"cat\": \"%s\", \"ts\": %.3f, \"dur\": %.3f}",

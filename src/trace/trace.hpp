@@ -47,6 +47,8 @@ struct Event {
   const char* name = nullptr;  // static string (phase or event name)
   const char* cat = nullptr;   // static string (kCat*)
   std::uint32_t count = 0;     // instants: event multiplicity; 0 == span
+  std::uint32_t flow_id = 0;   // flow halves: nonzero pair id
+  char flow_ph = 0;            // 0 = not a flow; 's' = source, 'f' = sink
 };
 
 class Tracer {
@@ -73,7 +75,17 @@ class Tracer {
   /// misses charged by one ordered operation).
   void instant(int proc, const char* cat, const char* name, std::uint64_t ts_ns,
                std::uint32_t count = 1) {
-    push(proc, Event{ts_ns, 0, name, cat, count});
+    push(proc, Event{ts_ns, 0, name, cat, count, 0, 0});
+  }
+
+  /// Records a causal arrow from (`from_proc`, from_ts) to (`to_proc`,
+  /// to_ts) as a Chrome flow-event pair; Perfetto draws it between the
+  /// tracks. Used for lock holder→waiter handoffs.
+  void flow(int from_proc, int to_proc, const char* cat, const char* name,
+            std::uint64_t from_ts, std::uint64_t to_ts) {
+    const std::uint32_t id = ++next_flow_id_;
+    push(from_proc, Event{from_ts, 0, name, cat, 0, id, 's'});
+    push(to_proc, Event{to_ts, 0, name, cat, 0, id, 'f'});
   }
 
   const std::vector<Event>& events(int proc) const {
@@ -113,6 +125,7 @@ class Tracer {
   int nprocs_;
   std::size_t capacity_;
   const char* clock_domain_ = "virtual";
+  std::uint32_t next_flow_id_ = 0;
   std::vector<std::vector<Event>> buffers_;
   std::vector<std::uint64_t> dropped_;
 };

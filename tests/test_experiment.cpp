@@ -156,8 +156,11 @@ TEST(Report, WaitFormatting) {
   w.events = 12;
   w.mean_s = 2e-3;
   w.max_s = 1.5;
+  w.p50_s = 0.1e-3;
   w.p95_s = 0.5e-3;
-  EXPECT_EQ(fmt_wait(w), "mean=2.00ms max=1.500s p95=500.0us (x12)");
+  w.p99_s = 1e-3;
+  EXPECT_EQ(fmt_wait(w),
+            "mean=2.00ms p50=100.0us p95=500.0us p99=1.00ms max=1.500s (x12)");
 }
 
 }  // namespace

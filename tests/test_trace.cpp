@@ -10,110 +10,14 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "json_checker.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace ptb {
 namespace {
 
-// --- minimal JSON well-formedness checker (no third-party parser) ---
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-
-  bool valid() {
-    pos_ = 0;
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    return pos_ > start;
-  }
-
-  bool literal(const char* lit) {
-    const std::string l(lit);
-    if (s_.compare(pos_, l.size(), l) != 0) return false;
-    pos_ += l.size();
-    return true;
-  }
-
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using testutil::JsonChecker;
 
 TEST(JsonChecker, AcceptsAndRejects) {
   EXPECT_TRUE(JsonChecker(R"({"a": [1, 2.5, "x\"y", true, null]})").valid());
@@ -226,6 +130,83 @@ TEST(Metrics, DistributionsMergeAcrossCells) {
   EXPECT_DOUBLE_EQ(all.stat().mean(), 25.0);
   EXPECT_DOUBLE_EQ(all.stat().max(), 40.0);
   EXPECT_EQ(m.merged("sync.lock_wait_event_ns", trace::proc_label(0)).count(), 2u);
+}
+
+TEST(Tracer, FlowEventsPairUpInChromeJson) {
+  trace::Tracer t(2);
+  t.flow(0, 1, trace::kCatSync, "lock-handoff", 100, 250);
+  ASSERT_EQ(t.events(0).size(), 1u);
+  ASSERT_EQ(t.events(1).size(), 1u);
+  EXPECT_EQ(t.events(0)[0].flow_ph, 's');
+  EXPECT_EQ(t.events(1)[0].flow_ph, 'f');
+  EXPECT_EQ(t.events(0)[0].flow_id, t.events(1)[0].flow_id);
+  EXPECT_NE(t.events(0)[0].flow_id, 0u);
+
+  const std::string json = t.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);  // bind sink to enclosing slice
+  EXPECT_NE(json.find("lock-handoff"), std::string::npos);
+}
+
+TEST(Tracer, FlowIdsAreUniquePerPairAndResetOnClear) {
+  trace::Tracer t(2);
+  t.flow(0, 1, trace::kCatSync, "a", 1, 2);
+  t.flow(1, 0, trace::kCatSync, "b", 3, 4);
+  EXPECT_NE(t.events(0)[0].flow_id, t.events(1)[1].flow_id);
+  t.clear();
+  t.flow(0, 1, trace::kCatSync, "c", 5, 6);
+  EXPECT_EQ(t.events(0)[0].flow_id, 1u);
+}
+
+TEST(Metrics, SumWithZeroMatchingFilterIsZero) {
+  trace::MetricsRegistry m;
+  m.add("sync.lock_acquires", trace::proc_phase_label(0, "treebuild"), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum("sync.lock_acquires", {{"phase", "nonesuch"}}), 0.0);
+  EXPECT_DOUBLE_EQ(m.sum("sync.lock_acquires", {{"proc", "7"}}), 0.0);
+  EXPECT_DOUBLE_EQ(m.sum("no.such.metric"), 0.0);
+  EXPECT_DOUBLE_EQ(m.max("no.such.metric"), 0.0);
+}
+
+TEST(Metrics, MergedOverEmptyDistributionsIsEmpty) {
+  trace::MetricsRegistry m;
+  // No matching cells at all.
+  EXPECT_EQ(m.merged("sync.lock_wait_event_ns").count(), 0u);
+  // Cells exist but hold empty distributions (record_all of a fresh one).
+  m.record_all("sync.lock_wait_event_ns", trace::proc_label(0), Distribution{});
+  m.record_all("sync.lock_wait_event_ns", trace::proc_label(1), Distribution{});
+  const Distribution all = m.merged("sync.lock_wait_event_ns");
+  EXPECT_EQ(all.count(), 0u);
+  EXPECT_DOUBLE_EQ(all.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(all.p99(), 0.0);
+  // A WaitSummary over it reports "no events" rather than garbage.
+  const WaitSummary w = wait_summary(all);
+  EXPECT_EQ(w.events, 0u);
+  EXPECT_DOUBLE_EQ(w.p99_s, 0.0);
+}
+
+TEST(Metrics, DistributionQuantilesIncludeP50AndP99) {
+  Distribution d;
+  for (int i = 1; i <= 1000; ++i) d.add(static_cast<double>(i));
+  EXPECT_GT(d.p50(), 0.0);
+  EXPECT_LE(d.p50(), d.p95());
+  EXPECT_LE(d.p95(), d.p99());
+  EXPECT_LE(d.p99(), d.stat().max());
+}
+
+TEST(MetricsDeathTest, DuplicateRegisterAcrossKindsIsDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  trace::MetricsRegistry m;
+  m.add("x.count", trace::proc_label(0), 1.0);
+  EXPECT_DEATH(m.record("x.count", trace::proc_label(0), 2.0),
+               "already registered as a counter/gauge");
+  m.record("y.dist", trace::proc_label(0), 1.0);
+  EXPECT_DEATH(m.add("y.dist", trace::proc_label(0), 2.0),
+               "already registered as a distribution");
+  // Same name with *different* labels is a different cell — allowed.
+  m.record("x.count", trace::proc_label(1), 3.0);
+  EXPECT_EQ(m.merged("x.count", trace::proc_label(1)).count(), 1u);
 }
 
 TEST(Metrics, SelectAndDumpAreDeterministic) {
