@@ -14,6 +14,7 @@
 #include <numeric>
 
 #include "harness/state.hpp"
+#include "treebuild/annotate.hpp"
 
 namespace ptb {
 namespace detail {
@@ -55,18 +56,19 @@ void orb_split(RT& rt, AppState& st, std::vector<std::int32_t>& items, std::size
     return;
   }
 
-  // Widest axis of this subset's bounding box.
+  // Widest axis of this subset's bounding box (read_shared-only stretch:
+  // batch arena-consecutive charge runs).
   Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
   double total_cost = 0.0;
-  for (std::size_t k = first; k < last; ++k) {
-    const Body& b = st.bodies[static_cast<std::size_t>(items[k])];
-    rt.read_shared(st.body_charge(items[k]), 32);
-    for (int d = 0; d < 3; ++d) {
-      lo[d] = std::min(lo[d], b.pos[d]);
-      hi[d] = std::max(hi[d], b.pos[d]);
-    }
-    total_cost += std::max(1.0, b.cost);
-  }
+  annotate::read_bodies_spanned(rt, st, items.data() + first, last - first, 32,
+                                /*skip=*/-1, [&](std::int32_t bi) {
+                                  const Body& b = st.bodies[static_cast<std::size_t>(bi)];
+                                  for (int d = 0; d < 3; ++d) {
+                                    lo[d] = std::min(lo[d], b.pos[d]);
+                                    hi[d] = std::max(hi[d], b.pos[d]);
+                                  }
+                                  total_cost += std::max(1.0, b.cost);
+                                });
   int axis = 0;
   for (int d = 1; d < 3; ++d)
     if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;

@@ -8,6 +8,7 @@
 
 #include "harness/state.hpp"
 #include "support/check.hpp"
+#include "treebuild/annotate.hpp"
 
 namespace ptb {
 
@@ -170,15 +171,17 @@ void force_walk(RT& rt, AppState& st, Node* n, const Vec3& pos, std::int32_t sel
   rt.read_shared(n, 72);  // cube + com + mass
   rt.compute(work::kTraversalStep);
   if (n->is_leaf(std::memory_order_relaxed)) {
-    for (int i = 0; i < n->nbodies; ++i) {
-      const std::int32_t bj = n->bodies[i];
-      if (bj == self_idx) continue;
-      const Body& other = st.bodies[static_cast<std::size_t>(bj)];
-      rt.read_shared(st.body_charge(bj), 48);
-      rt.compute(work::kBodyBodyInteraction);
-      acc += pair_accel(pos, other.pos, other.mass, eps2);
-      ++count;
-    }
+    // The leaf's claimed bodies are mostly arena-consecutive: batch their
+    // charges (the whole walk is read_shared/compute-only, so the span
+    // contract applies).
+    annotate::read_bodies_spanned(
+        rt, st, n->bodies, static_cast<std::size_t>(n->nbodies), 48, self_idx,
+        [&](std::int32_t bj) {
+          const Body& other = st.bodies[static_cast<std::size_t>(bj)];
+          rt.compute(work::kBodyBodyInteraction);
+          acc += pair_accel(pos, other.pos, other.mass, eps2);
+          ++count;
+        });
     return;
   }
   const Vec3 d = n->com - pos;

@@ -41,44 +41,4 @@ void CacheModel::clear() {
   }
 }
 
-bool CacheModel::touch(std::size_t block, std::uint32_t epoch) {
-  if (infinite_) {
-    if (resident_epoch_.size() <= block) resident_epoch_.resize(block + 1, 0);
-    const bool hit = resident_epoch_[block] == epoch + 1;
-    resident_epoch_[block] = epoch + 1;
-    return hit;
-  }
-  Entry* set = &entries_[set_of(block) * ways_];
-  const std::uint64_t key = static_cast<std::uint64_t>(block) + 1;
-  ++tick_;
-  Entry* victim = set;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Entry& e = set[w];
-    if (e.key == key) {
-      e.stamp = tick_;
-      if (e.epoch == epoch) return true;
-      e.epoch = epoch;  // stale copy: refill in place
-      return false;
-    }
-    if (e.stamp < victim->stamp) victim = &e;
-  }
-  if (victim->key != 0) ++evictions_;
-  victim->key = key;
-  victim->stamp = tick_;
-  victim->epoch = epoch;
-  return false;
-}
-
-bool CacheModel::present(std::size_t block, std::uint32_t epoch) const {
-  if (infinite_) {
-    return block < resident_epoch_.size() && resident_epoch_[block] == epoch + 1;
-  }
-  const Entry* set = &entries_[set_of(block) * ways_];
-  const std::uint64_t key = static_cast<std::uint64_t>(block) + 1;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    if (set[w].key == key) return set[w].epoch == epoch;
-  }
-  return false;
-}
-
 }  // namespace ptb

@@ -19,22 +19,148 @@ class CacheModel {
   void init(std::size_t cache_bytes, std::size_t block_bytes, int ways);
 
   /// Probes (and on miss, fills) the cache. Returns true on hit.
-  bool touch(std::size_t block, std::uint32_t epoch);
+  /// Header-inline: this is the innermost step of every charged access, and
+  /// the simulator's sealed dispatch is built so the whole chain from
+  /// SimProc::read_shared down to here inlines into one code path.
+  bool touch(std::size_t block, std::uint32_t epoch) {
+    if (infinite_) {
+      if (resident_epoch_.size() <= block) resident_epoch_.resize(block + 1, 0);
+      const bool hit = resident_epoch_[block] == epoch + 1;
+      resident_epoch_[block] = epoch + 1;
+      return hit;
+    }
+    Entry* set = &entries_[set_of(block) * ways_];
+    const std::uint64_t key = (static_cast<std::uint64_t>(block) + 1) << 32;
+    ++tick_;
+    Entry* victim = set;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Entry& e = set[w];
+      if ((e.tag & kKeyMask) == key) {
+        e.stamp = tick_;
+        if (e.tag == (key | epoch)) return true;
+        e.tag = key | epoch;  // stale copy: refill in place
+        return false;
+      }
+      if (e.stamp < victim->stamp) victim = &e;
+    }
+    if (victim->tag != 0) ++evictions_;
+    victim->tag = key | epoch;
+    victim->stamp = tick_;
+    return false;
+  }
+
+  /// Epoch-free probe for the serialized (eager-invalidation) mode: a hit is
+  /// "entry present and marked valid". The protocol model calls mark_stale()
+  /// on every OTHER processor's cache when it bumps a block's epoch, so
+  /// validity here is exactly "fill epoch == current epoch" in the lazy
+  /// scheme — same hits, same misses, same refill ways, same stamps — while
+  /// the read path no longer loads the shared per-block epoch at all. Only
+  /// sound when execution is serialized (fiber backend): the sweep writes
+  /// into other processors' entries.
+  bool touch_nv(std::size_t block) {
+    if (infinite_) {
+      if (resident_epoch_.size() <= block) resident_epoch_.resize(block + 1, 0);
+      const bool hit = resident_epoch_[block] == kNvResident;
+      resident_epoch_[block] = kNvResident;
+      return hit;
+    }
+    Entry* set = &entries_[set_of(block) * ways_];
+    const std::uint64_t key = (static_cast<std::uint64_t>(block) + 1) << 32;
+    ++tick_;
+    Entry* victim = set;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Entry& e = set[w];
+      if ((e.tag & kKeyMask) == key) {
+        e.stamp = tick_;
+        if (e.tag == (key | kNvValid)) return true;
+        e.tag = key | kNvValid;  // stale copy: refill in place
+        return false;
+      }
+      if (e.stamp < victim->stamp) victim = &e;
+    }
+    if (victim->tag != 0) ++evictions_;
+    victim->tag = key | kNvValid;
+    victim->stamp = tick_;
+    return false;
+  }
+
+  /// Eager counterpart of an epoch bump for ONE remote cache: the entry (if
+  /// any) keeps its way and stamp but stops matching as valid, so the next
+  /// touch_nv refills it in place — exactly what the lazy epoch mismatch
+  /// would do. Does NOT advance tick_ (the lazy scheme never touches a
+  /// remote cache on a bump).
+  void mark_stale(std::size_t block) {
+    if (infinite_) {
+      if (block < resident_epoch_.size() && resident_epoch_[block] == kNvResident)
+        resident_epoch_[block] = 0;
+      return;
+    }
+    Entry* set = &entries_[set_of(block) * ways_];
+    const std::uint64_t key = (static_cast<std::uint64_t>(block) + 1) << 32;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if ((set[w].tag & kKeyMask) == key) {
+        set[w].tag = key | kNvStale;
+        return;
+      }
+    }
+  }
+
+  /// Re-touch of a block the caller has PROVEN is resident with a current
+  /// epoch (the span fast path's duplicate block visits: the block was
+  /// touched at most ways()-1 distinct fills ago and nothing ran in between
+  /// that could bump its epoch). Performs exactly the tick/stamp updates the
+  /// equivalent touch() hit would, so LRU decisions stay bit-identical to
+  /// the per-element reference path, without reloading protocol state.
+  void restamp(std::size_t block) {
+    if (infinite_) return;  // touch() mutates nothing on an infinite-mode hit
+    Entry* set = &entries_[set_of(block) * ways_];
+    const std::uint64_t key = (static_cast<std::uint64_t>(block) + 1) << 32;
+    ++tick_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if ((set[w].tag & kKeyMask) == key) {
+        set[w].stamp = tick_;
+        return;
+      }
+    }
+  }
 
   /// Probe without filling.
-  bool present(std::size_t block, std::uint32_t epoch) const;
+  bool present(std::size_t block, std::uint32_t epoch) const {
+    if (infinite_) {
+      return block < resident_epoch_.size() && resident_epoch_[block] == epoch + 1;
+    }
+    const Entry* set = &entries_[set_of(block) * ways_];
+    const std::uint64_t tag =
+        ((static_cast<std::uint64_t>(block) + 1) << 32) | epoch;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if ((set[w].tag & kKeyMask) == (tag & kKeyMask)) return set[w].tag == tag;
+    }
+    return false;
+  }
 
   /// Drops all contents (start of a run).
   void clear();
 
   std::uint64_t evictions() const { return evictions_; }
 
+  bool infinite() const { return infinite_; }
+  std::size_t ways() const { return ways_; }
+
  private:
+  /// 16 bytes so a 4-way set is exactly one 64 B host cache line: the whole
+  /// LRU scan of a set touches one line instead of two (the old 24-byte
+  /// entry padded a set to 96+ bytes). Block index and fill epoch share one
+  /// word — RegionTable::add() guarantees block indices fit in 32 bits.
   struct Entry {
-    std::uint64_t key = 0;  // block index + 1; 0 == empty
+    std::uint64_t tag = 0;  // ((block + 1) << 32) | epoch; 0 == empty
     std::uint64_t stamp = 0;
-    std::uint32_t epoch = 0;
   };
+  static constexpr std::uint64_t kKeyMask = 0xffffffff00000000ull;
+  // Epoch-field markers for the epoch-free (touch_nv) mode. Real epochs are
+  // bump counts and never come within 2^32 of these.
+  static constexpr std::uint64_t kNvValid = 0xffffffffull;
+  static constexpr std::uint64_t kNvStale = 0xfffffffeull;
+  static constexpr std::uint32_t kNvResident = 0xffffffffu;  // infinite mode
 
   std::size_t set_of(std::size_t block) const {
     // Cheap mix so consecutive blocks spread over sets, then mask.

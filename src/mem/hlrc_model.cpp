@@ -13,23 +13,6 @@ HlrcModel::HlrcModel(const PlatformSpec& spec, int nprocs) : MemModel(spec, npro
   for (auto& c : local_cache_) c.init(spec.cache_bytes, 64, spec.cache_ways);
 }
 
-std::uint64_t HlrcModel::local_touch(int proc, const void* p, std::size_t n) {
-  if (spec_.cache_bytes == 0 || spec_.local_miss_ns <= 0.0) return 0;
-  // 64 B line grid over the region's virtual offset (coherence is per page;
-  // this is the node's own cache, so no epochs are involved). The virtual
-  // offset — not the raw address — keys the lines so the cache's set mapping
-  // does not depend on where the allocator/ASLR placed the region.
-  std::size_t off;
-  if (!regions_.virtual_offset(p, off)) return 0;
-  const std::size_t first = off / 64;
-  const std::size_t last = (off + (n > 0 ? n : 1) - 1) / 64;
-  std::uint64_t cost = 0;
-  auto& cache = local_cache_[static_cast<std::size_t>(proc)];
-  for (std::size_t b = first; b <= last; ++b)
-    if (!cache.touch(b, 0)) cost += static_cast<std::uint64_t>(spec_.local_miss_ns);
-  return cost;
-}
-
 void HlrcModel::register_region(const void* base, std::size_t bytes, HomePolicy policy,
                                 int fixed_home, std::string name) {
   MemModel::register_region(base, bytes, policy, fixed_home, std::move(name));
@@ -63,28 +46,6 @@ void HlrcModel::reset() {
   log_pos_.assign(static_cast<std::size_t>(nprocs_), 0);
 }
 
-bool HlrcModel::copy_valid(int proc, std::size_t page, int home) const {
-  // The home node's copy IS the page: it is always valid (home-based LRC
-  // applies remote diffs to it; local reads/writes never fault). This is the
-  // reason per-processor pools (LOCAL/PARTREE/SPACE) are cheap on SVM while
-  // ORIG's interleaved global array is not.
-  if (proc == home) return true;
-  const std::size_t idx = static_cast<std::size_t>(proc) * npages_ + page;
-  const std::uint32_t cv = copy_version_[idx];
-  return cv != 0 && cv - 1 >= required_version_[idx];
-}
-
-std::uint64_t HlrcModel::maybe_fault(int proc, std::size_t page, int home) {
-  if (copy_valid(proc, page, home)) return 0;
-  auto& st = stats_[static_cast<std::size_t>(proc)];
-  ++st.page_faults;
-  const std::size_t idx = static_cast<std::size_t>(proc) * npages_ + page;
-  // Fetch the current home copy; the copy is stamped version+1 so that
-  // version v satisfies any required_version <= v.
-  copy_version_[idx] = version_[page].load(std::memory_order_acquire) + 1;
-  return static_cast<std::uint64_t>(spec_.page_fault_ns);
-}
-
 std::uint64_t HlrcModel::track_write(int proc, std::size_t page, int home) {
   const std::uint64_t bit = 1ull << proc;
   if (wmask_[page] & bit) return 0;  // already tracked this interval
@@ -95,36 +56,18 @@ std::uint64_t HlrcModel::track_write(int proc, std::size_t page, int home) {
   return static_cast<std::uint64_t>(spec_.twin_ns);
 }
 
-std::uint64_t HlrcModel::on_read(int proc, const void* p, std::size_t n,
-                                 std::uint64_t /*now*/) {
-  std::size_t first, last;
-  int home;
-  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
-  auto& st = stats_[static_cast<std::size_t>(proc)];
-  std::uint64_t cost = local_touch(proc, p, n);
-  for (std::size_t b = first; b <= last; ++b) {
-    ++st.reads;
-    cost += maybe_fault(proc, b, b == first ? home : regions_.block_home(b, nprocs_));
-  }
-  return cost;
-}
-
-std::uint64_t HlrcModel::on_read_shared(int proc, const void* p, std::size_t n) {
-  // Safe concurrently: touches only this processor's copy_version_ slice and
-  // atomically loads version_. required_version_ changes only at this
-  // processor's own synchronizations.
-  return on_read(proc, p, n, 0);
-}
-
 std::uint64_t HlrcModel::on_write(int proc, const void* p, std::size_t n,
                                   std::uint64_t /*now*/) {
   std::size_t first, last;
   int home;
-  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  std::int32_t region;
+  if (!resolve_blocks(proc, p, n, first, last, home, region)) return 0;
   auto& st = stats_[static_cast<std::size_t>(proc)];
-  std::uint64_t cost = local_touch(proc, p, n);
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const std::size_t bb = regions_.block_bytes();
+  std::uint64_t cost = local_touch_at(proc, first * bb + a % bb, n);
   for (std::size_t b = first; b <= last; ++b) {
-    const int h = b == first ? home : regions_.block_home(b, nprocs_);
+    const int h = b == first ? home : later_block_home(region, b);
     ++st.writes;
     cost += maybe_fault(proc, b, h);  // write fault fetches the page too
     cost += track_write(proc, b, h);

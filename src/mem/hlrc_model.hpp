@@ -40,14 +40,110 @@ class HlrcModel final : public MemModel {
                        int fixed_home, std::string name) override;
   void reset() override;
 
-  std::uint64_t on_read(int proc, const void* p, std::size_t n, std::uint64_t now) override;
+  // The read path is header-inline (see invalidation_model.hpp: the sealed
+  // dispatch turns SimProc::read_shared into one direct code path down to
+  // the page-validity check).
+  std::uint64_t on_read(int proc, const void* p, std::size_t n,
+                        std::uint64_t /*now*/) override {
+    std::size_t first, last;
+    int home;
+    std::int32_t region;
+    if (!resolve_blocks(proc, p, n, first, last, home, region)) return 0;
+    auto& st = stats_[static_cast<std::size_t>(proc)];
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const unsigned sh = regions_.block_shift();
+    std::uint64_t cost = local_touch_at(
+        proc, (first << sh) + (a & (regions_.block_bytes() - 1)), n);
+    for (std::size_t b = first; b <= last; ++b) {
+      ++st.reads;
+      cost += maybe_fault(proc, b, b == first ? home : later_block_home(region, b));
+    }
+    return cost;
+  }
   std::uint64_t on_write(int proc, const void* p, std::size_t n, std::uint64_t now) override;
   std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) override;
   std::uint64_t on_acquire(int proc, const void* lock, std::uint64_t now) override;
   std::uint64_t on_release(int proc, const void* lock, std::uint64_t now) override;
   std::uint64_t on_barrier_arrive(int proc, std::uint64_t now) override;
   std::uint64_t on_barrier_depart(int proc, std::uint64_t now) override;
-  std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) override;
+  std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) override {
+    // Safe concurrently: touches only this processor's copy_version_ slice
+    // and atomically loads version_. required_version_ changes only at this
+    // processor's own synchronizations.
+    return on_read(proc, p, n, 0);
+  }
+
+  // One region resolution for the whole run. Per (element, page, line) the
+  // accounting is bit-identical to the per-element scalar loop (the base
+  // implementation, used as fallback whenever the run is not provably inside
+  // a single region). Two collapses ride on the span's monotonicity — the
+  // virtual offset is (element address + constant), so pages and 64 B lines
+  // are visited in nondecreasing order, and an unordered stretch is
+  // host-atomic under turn serialization:
+  //   * a revisited PAGE is provably valid (the first visit either found it
+  //     valid or faulted it in, and required/home versions only move at this
+  //     processor's own synchronizations), so maybe_fault — a pure check — is
+  //     skipped and only the batched `reads` counter records the visit;
+  //   * a revisited LINE is provably still cached when lines-per-element is
+  //     below the local cache's associativity (newest-stamp entries survive
+  //     fewer-than-ways intervening fills), so it re-stamps via
+  //     CacheModel::restamp at zero cost, exactly like the touch() hit the
+  //     reference path performs.
+  std::uint64_t on_read_shared_span(int proc, const void* p, std::size_t n,
+                                    std::size_t stride, std::size_t count) override {
+    if (count == 0) return 0;
+    std::size_t first, last;
+    int home;
+    std::int32_t region;
+    if (!fast_ || !resolve_blocks(proc, p, 0, first, last, home, region) ||
+        region == LineLookaside::kNotShared)
+      return MemModel::on_read_shared_span(proc, p, n, stride, count);
+    const Region& r = regions_.regions()[static_cast<std::size_t>(region)];
+    const auto a0 = reinterpret_cast<std::uintptr_t>(p);
+    const std::size_t nn = n > 0 ? n : 1;
+    if (a0 + (count - 1) * stride + nn > r.base + r.bytes)
+      return MemModel::on_read_shared_span(proc, p, n, stride, count);
+    const unsigned sh = regions_.block_shift();
+    const std::size_t bmask = regions_.block_bytes() - 1;
+    const std::uintptr_t region_page = r.base >> sh;
+    auto& st = stats_[static_cast<std::size_t>(proc)];
+    auto& cache = local_cache_[static_cast<std::size_t>(proc)];
+    const bool lines_on = spec_.cache_bytes > 0 && spec_.local_miss_ns > 0.0;
+    const std::size_t max_lpe = ((nn + 62) >> 6) + 1;  // worst-case lines/element
+    const bool collapse_lines = cache.infinite() || max_lpe <= cache.ways();
+    const auto local_ns = static_cast<std::uint64_t>(spec_.local_miss_ns);
+    std::uint64_t cost = 0;
+    std::uint64_t visits = 0;
+    std::size_t done_pg = 0;  // region-relative page already visited, +1
+    std::size_t done_ln = 0;  // virtual-grid 64 B line already visited, +1
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uintptr_t a = a0 + i * stride;
+      const std::size_t p0 = ((a >> sh) - region_page);
+      const std::size_t p1 = (((a + nn - 1) >> sh) - region_page);
+      visits += p1 - p0 + 1;
+      if (lines_on) {
+        const std::size_t off = ((r.first_block + p0) << sh) + (a & bmask);
+        std::size_t l0 = off / 64;
+        const std::size_t l1 = (off + nn - 1) / 64;
+        if (collapse_lines && l0 < done_ln) {
+          const std::size_t dup = l1 < done_ln - 1 ? l1 : done_ln - 1;
+          for (std::size_t b = l0; b <= dup; ++b) cache.restamp(b);
+          l0 = dup + 1;
+        }
+        for (std::size_t b = l0; b <= l1; ++b)
+          if (!cache.touch(b, 0)) cost += local_ns;
+        if (collapse_lines && l1 + 1 > done_ln) done_ln = l1 + 1;
+      }
+      for (std::size_t pg = p0 < done_pg ? done_pg : p0; pg <= p1; ++pg)
+        cost += maybe_fault(proc, r.first_block + pg,
+                            regions_.home_in(region, r.first_block + pg, nprocs_));
+      done_pg = p1 + 1;
+    }
+    st.reads += visits;
+    return cost;
+  }
+
+  MemModelKind kind() const override { return MemModelKind::kHlrc; }
 
   /// Test hooks.
   struct PageState {
@@ -67,9 +163,27 @@ class HlrcModel final : public MemModel {
   };
 
   void ensure_capacity();
-  bool copy_valid(int proc, std::size_t page, int home) const;
+  bool copy_valid(int proc, std::size_t page, int home) const {
+    // The home node's copy IS the page: it is always valid (home-based LRC
+    // applies remote diffs to it; local reads/writes never fault). This is the
+    // reason per-processor pools (LOCAL/PARTREE/SPACE) are cheap on SVM while
+    // ORIG's interleaved global array is not.
+    if (proc == home) return true;
+    const std::size_t idx = static_cast<std::size_t>(proc) * npages_ + page;
+    const std::uint32_t cv = copy_version_[idx];
+    return cv != 0 && cv - 1 >= required_version_[idx];
+  }
   /// Fault + fetch if the processor's copy is invalid. Returns cost.
-  std::uint64_t maybe_fault(int proc, std::size_t page, int home);
+  std::uint64_t maybe_fault(int proc, std::size_t page, int home) {
+    if (copy_valid(proc, page, home)) return 0;
+    auto& st = stats_[static_cast<std::size_t>(proc)];
+    ++st.page_faults;
+    const std::size_t idx = static_cast<std::size_t>(proc) * npages_ + page;
+    // Fetch the current home copy; the copy is stamped version+1 so that
+    // version v satisfies any required_version <= v.
+    copy_version_[idx] = version_[page].load(std::memory_order_acquire) + 1;
+    return static_cast<std::uint64_t>(spec_.page_fault_ns);
+  }
   /// First-write-in-interval twin bookkeeping. Returns cost (ordered only).
   std::uint64_t track_write(int proc, std::size_t page, int home);
   /// Release-side: diff written pages to home, post notices. Returns cost.
@@ -91,7 +205,24 @@ class HlrcModel final : public MemModel {
   /// lines, independent of the 4 KB coherence grain). Keeps the machine's
   /// sequential memory behaviour consistent with the parallel runs.
   std::vector<CacheModel> local_cache_;
-  std::uint64_t local_touch(int proc, const void* p, std::size_t n);
+  /// Core of the local-cache charge, keyed by the access's stable virtual
+  /// offset (global block × block bytes + offset within the block). Callers
+  /// derive the offset from their already-resolved first block, so no second
+  /// region lookup is paid.
+  std::uint64_t local_touch_at(int proc, std::size_t off, std::size_t n) {
+    if (spec_.cache_bytes == 0 || spec_.local_miss_ns <= 0.0) return 0;
+    // 64 B line grid over the region's virtual offset (coherence is per page;
+    // this is the node's own cache, so no epochs are involved). The virtual
+    // offset — not the raw address — keys the lines so the cache's set mapping
+    // does not depend on where the allocator/ASLR placed the region.
+    const std::size_t first = off / 64;
+    const std::size_t last = (off + (n > 0 ? n : 1) - 1) / 64;
+    std::uint64_t cost = 0;
+    auto& cache = local_cache_[static_cast<std::size_t>(proc)];
+    for (std::size_t b = first; b <= last; ++b)
+      if (!cache.touch(b, 0)) cost += static_cast<std::uint64_t>(spec_.local_miss_ns);
+    return cost;
+  }
 };
 
 }  // namespace ptb

@@ -1,0 +1,48 @@
+// Zero-cost shared memory: used to validate scheduler logic and as a PRAM
+// reference in tests (speedups under kIdeal should track the critical path).
+// Public (not an implementation detail of the factory) so the simulator's
+// sealed dispatch (mem/dispatch.hpp) can call it directly.
+#pragma once
+
+#include "mem/model.hpp"
+
+namespace ptb {
+
+class IdealModel final : public MemModel {
+ public:
+  IdealModel(const PlatformSpec& spec, int nprocs) : MemModel(spec, nprocs) {
+    regions_.set_block_bytes(spec.block_bytes);
+  }
+
+  MemModelKind kind() const override { return MemModelKind::kIdeal; }
+
+  std::uint64_t on_read(int proc, const void*, std::size_t, std::uint64_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].reads;
+    return 0;
+  }
+  std::uint64_t on_write(int proc, const void*, std::size_t, std::uint64_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].writes;
+    return 0;
+  }
+  std::uint64_t on_rmw(int proc, const void*, std::uint64_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].rmws;
+    return 0;
+  }
+  std::uint64_t on_acquire(int, const void*, std::uint64_t) override { return 0; }
+  std::uint64_t on_release(int, const void*, std::uint64_t) override { return 0; }
+  std::uint64_t on_barrier_arrive(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_barrier_depart(int, std::uint64_t) override { return 0; }
+  std::uint64_t on_read_shared(int proc, const void*, std::size_t) override {
+    ++stats_[static_cast<std::size_t>(proc)].reads;
+    return 0;
+  }
+  // Per-element accounting is one read counter bump and zero cost; the span
+  // collapses to a single add.
+  std::uint64_t on_read_shared_span(int proc, const void*, std::size_t, std::size_t,
+                                    std::size_t count) override {
+    stats_[static_cast<std::size_t>(proc)].reads += count;
+    return 0;
+  }
+};
+
+}  // namespace ptb

@@ -47,63 +47,16 @@ void InvalidationModel::reset() {
   for (auto& c : caches_) c.clear();
 }
 
-double InvalidationModel::miss_cost(int proc, int home, std::int32_t owner) const {
-  if (owner >= 0 && owner != proc) return spec_.dirty_miss_ns;  // intervention
-  if (uniform_ || home == proc) return spec_.local_miss_ns;
-  return spec_.remote_miss_ns;
-}
-
-std::uint64_t InvalidationModel::read_one(int proc, std::size_t block, int home,
-                                          bool ordered) {
-  auto& st = stats_[static_cast<std::size_t>(proc)];
-  ++st.reads;
-  Line& line = lines_[block];
-  const std::uint32_t epoch = line.epoch.load(std::memory_order_acquire);
-  if (caches_[static_cast<std::size_t>(proc)].touch(block, epoch))
-    return static_cast<std::uint64_t>(spec_.read_hit_ns);
-
-  ++st.read_misses;
-  const std::int32_t owner = line.owner.load(std::memory_order_relaxed);
-  double cost = miss_cost(proc, home, owner);
-  if (!uniform_ && home != proc) ++st.remote_misses;
-  if (ordered && owner >= 0 && owner != proc) {
-    // Dirty elsewhere: the read downgrades the owner to shared (write-back).
-    // Only the globally ordered path mutates this — on the concurrent
-    // read-shared fast path every reader pays the intervention cost and the
-    // owner is left for the next ordered write to reset, which keeps the
-    // fast path deterministic under any host interleaving.
-    line.owner.store(-1, std::memory_order_relaxed);
-  }
-  line.sharers.fetch_or(1ull << proc, std::memory_order_relaxed);
-  if (ordered && spec_.bus_occupancy_ns > 0.0) {
-    // Bus serialization is only modeled on the globally ordered path, where
-    // virtual time is coherent across processors.
-    cost += spec_.bus_occupancy_ns;
-  }
-  return static_cast<std::uint64_t>(cost);
-}
-
 std::uint64_t InvalidationModel::on_read(int proc, const void* p, std::size_t n,
                                          std::uint64_t /*now*/) {
   std::size_t first, last;
   int home;
-  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  std::int32_t region;
+  if (!resolve_blocks(proc, p, n, first, last, home, region)) return 0;
   std::uint64_t cost = 0;
   for (std::size_t b = first; b <= last; ++b) {
-    cost += read_one(proc, b, b == first ? home : regions_.block_home(b, nprocs_),
+    cost += read_one(proc, b, b == first ? home : later_block_home(region, b),
                      /*ordered=*/true);
-  }
-  return cost;
-}
-
-std::uint64_t InvalidationModel::on_read_shared(int proc, const void* p, std::size_t n) {
-  std::size_t first, last;
-  int home;
-  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
-  std::uint64_t cost = 0;
-  for (std::size_t b = first; b <= last; ++b) {
-    cost += read_one(proc, b, b == first ? home : regions_.block_home(b, nprocs_),
-                     /*ordered=*/false);
   }
   return cost;
 }
@@ -112,18 +65,21 @@ std::uint64_t InvalidationModel::on_write(int proc, const void* p, std::size_t n
                                           std::uint64_t /*now*/) {
   std::size_t first, last;
   int home;
-  if (!regions_.resolve_range(p, n, nprocs_, first, last, home)) return 0;
+  std::int32_t region;
+  if (!resolve_blocks(proc, p, n, first, last, home, region)) return 0;
   auto& st = stats_[static_cast<std::size_t>(proc)];
   std::uint64_t cost = 0;
   const std::uint64_t self_bit = 1ull << proc;
   for (std::size_t b = first; b <= last; ++b) {
     ++st.writes;
-    const int h = b == first ? home : regions_.block_home(b, nprocs_);
+    const int h = b == first ? home : later_block_home(region, b);
     Line& line = lines_[b];
     std::uint32_t epoch = line.epoch.load(std::memory_order_relaxed);
     const std::uint64_t sharers = line.sharers.load(std::memory_order_relaxed);
     const std::int32_t owner = line.owner.load(std::memory_order_relaxed);
-    const bool cached = caches_[static_cast<std::size_t>(proc)].touch(b, epoch);
+    const bool cached =
+        serialized_ ? caches_[static_cast<std::size_t>(proc)].touch_nv(b)
+                    : caches_[static_cast<std::size_t>(proc)].touch(b, epoch);
     if (cached && owner == proc && (sharers & ~self_bit) == 0) {
       continue;  // already exclusive-modified: free
     }
@@ -140,7 +96,15 @@ std::uint64_t InvalidationModel::on_write(int proc, const void* p, std::size_t n
     line.epoch.store(epoch, std::memory_order_release);
     line.sharers.store(self_bit, std::memory_order_relaxed);
     line.owner.store(proc, std::memory_order_relaxed);
-    caches_[static_cast<std::size_t>(proc)].touch(b, epoch);
+    if (serialized_) {
+      // Eager mode: the bump invalidates the other copies NOW instead of at
+      // their next probe. Own copy refreshes exactly like the lazy re-touch.
+      for (int q = 0; q < nprocs_; ++q)
+        if (q != proc) caches_[static_cast<std::size_t>(q)].mark_stale(b);
+      caches_[static_cast<std::size_t>(proc)].touch_nv(b);
+    } else {
+      caches_[static_cast<std::size_t>(proc)].touch(b, epoch);
+    }
     cost += static_cast<std::uint64_t>(c);
   }
   return cost;
@@ -165,7 +129,13 @@ std::uint64_t InvalidationModel::on_rmw(int proc, const void* p, std::uint64_t n
   line.epoch.store(epoch, std::memory_order_release);
   line.sharers.store(self_bit, std::memory_order_relaxed);
   line.owner.store(proc, std::memory_order_relaxed);
-  caches_[static_cast<std::size_t>(proc)].touch(ref.block, epoch);
+  if (serialized_) {
+    for (int q = 0; q < nprocs_; ++q)
+      if (q != proc) caches_[static_cast<std::size_t>(q)].mark_stale(ref.block);
+    caches_[static_cast<std::size_t>(proc)].touch_nv(ref.block);
+  } else {
+    caches_[static_cast<std::size_t>(proc)].touch(ref.block, epoch);
+  }
   (void)now;
   return static_cast<std::uint64_t>(c);
 }

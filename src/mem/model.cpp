@@ -1,54 +1,33 @@
 #include "mem/model.hpp"
 
+#include <cstdlib>
+
 #include "mem/hlrc_model.hpp"
+#include "mem/ideal_model.hpp"
 #include "mem/invalidation_model.hpp"
 #include "support/check.hpp"
 #include "trace/trace.hpp"
 
 namespace ptb {
-namespace {
 
-/// Zero-cost shared memory: used to validate scheduler logic and as a PRAM
-/// reference in tests (speedups under kIdeal should track the critical path).
-class IdealModel final : public MemModel {
- public:
-  IdealModel(const PlatformSpec& spec, int nprocs) : MemModel(spec, nprocs) {
-    regions_.set_block_bytes(spec.block_bytes);
-  }
-
-  std::uint64_t on_read(int proc, const void*, std::size_t, std::uint64_t) override {
-    ++stats_[static_cast<std::size_t>(proc)].reads;
-    return 0;
-  }
-  std::uint64_t on_write(int proc, const void*, std::size_t, std::uint64_t) override {
-    ++stats_[static_cast<std::size_t>(proc)].writes;
-    return 0;
-  }
-  std::uint64_t on_rmw(int proc, const void*, std::uint64_t) override {
-    ++stats_[static_cast<std::size_t>(proc)].rmws;
-    return 0;
-  }
-  std::uint64_t on_acquire(int, const void*, std::uint64_t) override { return 0; }
-  std::uint64_t on_release(int, const void*, std::uint64_t) override { return 0; }
-  std::uint64_t on_barrier_arrive(int, std::uint64_t) override { return 0; }
-  std::uint64_t on_barrier_depart(int, std::uint64_t) override { return 0; }
-  std::uint64_t on_read_shared(int proc, const void*, std::size_t) override {
-    ++stats_[static_cast<std::size_t>(proc)].reads;
-    return 0;
-  }
-};
-
-}  // namespace
+bool mem_slowpath_enabled() {
+  // Deliberately NOT cached in a static: equivalence tests flip the variable
+  // between SimContext constructions within one process.
+  const char* env = std::getenv("PTB_MEM_SLOWPATH");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
 
 void MemModel::register_region(const void* base, std::size_t bytes, HomePolicy policy,
                                int fixed_home, std::string name) {
   PTB_CHECK(fixed_home >= 0 && fixed_home < nprocs_);
   regions_.add(base, bytes, policy, fixed_home, std::move(name), nprocs_);
+  flush_lookasides();
 }
 
 void MemModel::reset() {
   regions_.clear();
   reset_stats();
+  flush_lookasides();
 }
 
 void MemModel::reset_stats() {

@@ -32,6 +32,23 @@ class Tracer;
 
 enum class Phase;  // rt/phase.hpp (scoped enum, int underlying type)
 
+/// Identifies the concrete protocol model behind a MemModel* so the
+/// simulator can dispatch the per-access hot path with a switch on this tag
+/// (a direct, devirtualizable call into the `final` class — see
+/// mem/dispatch.hpp) instead of a virtual hop. kOther covers decorators
+/// (RaceModel) and the PTB_MEM_SLOWPATH oracle, which stay on the virtual
+/// path.
+enum class MemModelKind : std::uint8_t { kIdeal, kInvalidation, kHlrc, kOther };
+
+/// True when PTB_MEM_SLOWPATH is set (non-empty, non-"0") in the
+/// environment: the simulator and the protocol models fall back to the
+/// reference per-access path — virtual dispatch, no line lookasides, span
+/// charges decayed to per-element calls. Read from the environment on every
+/// call (models sample it at construction), so tests can toggle it between
+/// SimContext constructions; it is the oracle the fast path is proven
+/// bit-identical against (tests/test_mem_equiv.cpp, docs/PERF.md).
+bool mem_slowpath_enabled();
+
 /// Per-processor memory-event counters (diagnostics, tests, Fig. 15-style
 /// reporting).
 struct MemProcStats {
@@ -81,7 +98,11 @@ void trace_mem_events(trace::Tracer& tracer, int proc, const MemProcStats& befor
 class MemModel {
  public:
   explicit MemModel(const PlatformSpec& spec, int nprocs)
-      : spec_(spec), nprocs_(nprocs), stats_(static_cast<std::size_t>(nprocs)) {}
+      : spec_(spec),
+        nprocs_(nprocs),
+        stats_(static_cast<std::size_t>(nprocs)),
+        fast_(!mem_slowpath_enabled()),
+        la_(static_cast<std::size_t>(nprocs)) {}
   virtual ~MemModel() = default;
 
   MemModel(const MemModel&) = delete;
@@ -137,6 +158,33 @@ class MemModel {
   // --- concurrent fast path (read-only phases) ---
   virtual std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) = 0;
 
+  /// Span form of on_read_shared: charges `count` elements of `n` bytes,
+  /// element i at `p + i*stride`, in one call. The accounting contract is
+  /// strict equivalence with the per-element loop below — same summed
+  /// latency, same MemProcStats deltas, same protocol/cache state
+  /// transitions in the same order — so annotation layers may batch
+  /// contiguous runs freely without perturbing virtual time (docs/PERF.md).
+  /// Protocol models override this with a single-resolution implementation;
+  /// this default IS the contract.
+  virtual std::uint64_t on_read_shared_span(int proc, const void* p, std::size_t n,
+                                            std::size_t stride, std::size_t count) {
+    const char* a = static_cast<const char*>(p);
+    std::uint64_t cost = 0;
+    for (std::size_t i = 0; i < count; ++i) cost += on_read_shared(proc, a + i * stride, n);
+    return cost;
+  }
+
+  /// Concrete-model tag for sealed dispatch (mem/dispatch.hpp). Decorators
+  /// keep the default: they must stay on the virtual path.
+  /// Execution-serialization promise from the simulator: under the fiber
+  /// backend an unordered stretch is host-atomic, which licenses the
+  /// eager-invalidation cache mode (see CacheModel::touch_nv). Default off:
+  /// the threads backend overlaps unordered stretches, where sweeping other
+  /// processors' cache entries would race with their probes.
+  virtual void set_serialized(bool) {}
+
+  virtual MemModelKind kind() const { return MemModelKind::kOther; }
+
   const PlatformSpec& spec() const { return spec_; }
   int nprocs() const { return nprocs_; }
   virtual const MemProcStats& proc_stats(int p) const {
@@ -146,10 +194,41 @@ class MemModel {
   virtual void reset_stats();
 
  protected:
+  /// Address resolution shared by the protocol models: lookaside-accelerated
+  /// (per-processor LineLookaside — safe on the concurrent read_shared path)
+  /// unless PTB_MEM_SLOWPATH, in which case it is exactly
+  /// RegionTable::resolve_range. Both routes return bit-identical results.
+  /// `region` reports the containing region's index (LineLookaside::kNotShared
+  /// when unknown or unregistered) for cheap per-block home lookup.
+  bool resolve_blocks(int proc, const void* p, std::size_t n, std::size_t& first,
+                      std::size_t& last, int& home_first, std::int32_t& region) {
+    if (fast_)
+      return regions_.resolve_range_cached(p, n, nprocs_,
+                                           la_[static_cast<std::size_t>(proc)], first,
+                                           last, home_first, region);
+    region = LineLookaside::kNotShared;
+    return regions_.resolve_range(p, n, nprocs_, first, last, home_first);
+  }
+  /// Home of a non-first block of a resolved range: region arithmetic when
+  /// the region is known, the block_home binary search otherwise.
+  int later_block_home(std::int32_t region, std::size_t block) const {
+    return region != LineLookaside::kNotShared ? regions_.home_in(region, block, nprocs_)
+                                               : regions_.block_home(block, nprocs_);
+  }
+  /// register_region()/reset() call this: region registration re-sorts the
+  /// table (region indices shift) and can turn a cached not-shared line into
+  /// a shared one. Protocol transitions never require a flush — the memoized
+  /// mapping is a pure function of the region list.
+  void flush_lookasides() {
+    for (auto& la : la_) la.flush();
+  }
+
   PlatformSpec spec_;
   int nprocs_;
   RegionTable regions_;
   std::vector<MemProcStats> stats_;
+  const bool fast_;  // !PTB_MEM_SLOWPATH, sampled at construction
+  std::vector<LineLookaside> la_;  // per processor
 };
 
 /// Factory: builds the protocol model the spec asks for.

@@ -6,6 +6,13 @@
 
 namespace ptb {
 
+void RegionTable::set_block_bytes(std::size_t b) {
+  PTB_CHECK_MSG(b > 0 && (b & (b - 1)) == 0, "block size must be a power of two");
+  block_bytes_ = b;
+  block_shift_ = 0;
+  while ((std::size_t{1} << block_shift_) < b) ++block_shift_;
+}
+
 void RegionTable::add(const void* base, std::size_t bytes, HomePolicy policy, int fixed_home,
                       std::string name, int nprocs) {
   PTB_CHECK(bytes > 0);
@@ -17,11 +24,19 @@ void RegionTable::add(const void* base, std::size_t bytes, HomePolicy policy, in
   r.name = std::move(name);
   // Align the block grid to absolute addresses so two regions that happen to
   // share a block boundary behave like real memory would.
-  const std::uintptr_t first_addr = r.base / block_bytes_;
-  const std::uintptr_t last_addr = (r.base + bytes - 1) / block_bytes_;
+  const std::uintptr_t first_addr = r.base >> block_shift_;
+  const std::uintptr_t last_addr = (r.base + bytes - 1) >> block_shift_;
   r.num_blocks = static_cast<std::size_t>(last_addr - first_addr + 1);
   r.first_block = total_blocks_;
   total_blocks_ += r.num_blocks;
+  // CacheModel packs (block index + 1) and the fill epoch into one 64-bit
+  // tag, and the HLRC local cache keys 64 B lines over the virtual-offset
+  // space (total_blocks * block_bytes / 64). Both fit comfortably below
+  // 2^32 for any simulatable problem size; enforce it where blocks are
+  // minted rather than on the per-access hot path.
+  PTB_CHECK_MSG(total_blocks_ < (std::size_t{1} << 32) &&
+                    (total_blocks_ << block_shift_) / 64 < (std::size_t{1} << 32),
+                "too many shared blocks for packed cache tags");
   (void)nprocs;
 
   // Overlap would double-count protocol state; forbid it.
@@ -30,6 +45,7 @@ void RegionTable::add(const void* base, std::size_t bytes, HomePolicy policy, in
         r.base + r.bytes <= other.base || other.base + other.bytes <= r.base;
     PTB_CHECK_MSG(disjoint, "overlapping shared regions");
   }
+  PTB_CHECK_MSG(regions_.size() < 32767, "too many shared regions for packed lookaside entries");
   regions_.push_back(std::move(r));
   std::sort(regions_.begin(), regions_.end(),
             [](const Region& a, const Region& b) { return a.base < b.base; });
@@ -57,27 +73,11 @@ const Region* RegionTable::find(std::uintptr_t a) const {
   return nullptr;
 }
 
-int RegionTable::home_of(const Region& r, std::size_t block_in_region, int nprocs) const {
-  switch (r.policy) {
-    case HomePolicy::kFixed:
-      return r.fixed_home;
-    case HomePolicy::kInterleavedBlock:
-      return static_cast<int>(block_in_region % static_cast<std::size_t>(nprocs));
-    case HomePolicy::kProcStriped: {
-      const std::size_t chunk = (r.num_blocks + static_cast<std::size_t>(nprocs) - 1) /
-                                static_cast<std::size_t>(nprocs);
-      return static_cast<int>(std::min<std::size_t>(
-          block_in_region / chunk, static_cast<std::size_t>(nprocs) - 1));
-    }
-  }
-  return 0;
-}
-
 BlockRef RegionTable::resolve(const void* p, int nprocs) const {
   const auto a = reinterpret_cast<std::uintptr_t>(p);
   const Region* r = find(a);
   if (r == nullptr) return BlockRef{};
-  const std::size_t block_in_region = (a / block_bytes_) - (r->base / block_bytes_);
+  const std::size_t block_in_region = (a >> block_shift_) - (r->base >> block_shift_);
   BlockRef ref;
   ref.shared = true;
   ref.block = r->first_block + block_in_region;
@@ -90,9 +90,9 @@ bool RegionTable::virtual_offset(const void* p, std::size_t& off) const {
   const auto a = reinterpret_cast<std::uintptr_t>(p);
   const Region* r = find(a);
   if (r == nullptr) return false;
-  const std::size_t block_in_region = (a / block_bytes_) - (r->base / block_bytes_);
-  off = (r->first_block + block_in_region) * block_bytes_ +
-        static_cast<std::size_t>(a % block_bytes_);
+  const std::size_t block_in_region = (a >> block_shift_) - (r->base >> block_shift_);
+  off = ((r->first_block + block_in_region) << block_shift_) +
+        static_cast<std::size_t>(a & (block_bytes_ - 1));
   return true;
 }
 
@@ -102,12 +102,26 @@ bool RegionTable::resolve_range(const void* p, std::size_t n, int nprocs, std::s
   const Region* r = find(a);
   if (r == nullptr) return false;
   const std::uintptr_t end = std::min(a + (n > 0 ? n : 1), r->base + r->bytes);
-  const std::size_t b0 = (a / block_bytes_) - (r->base / block_bytes_);
-  const std::size_t b1 = ((end - 1) / block_bytes_) - (r->base / block_bytes_);
+  const std::size_t b0 = (a >> block_shift_) - (r->base >> block_shift_);
+  const std::size_t b1 = ((end - 1) >> block_shift_) - (r->base >> block_shift_);
   first = r->first_block + b0;
   last = r->first_block + b1;
   home_of_first = home_of(*r, b0, nprocs);
   return true;
+}
+
+void RegionTable::fill_lookaside(LineLookaside::Entry& e, std::uintptr_t a,
+                                 std::uintptr_t line, int nprocs) const {
+  e.tag = line + 1;
+  const Region* r = find(a);
+  if (r == nullptr) {
+    e.region = LineLookaside::kNotShared;
+    return;
+  }
+  const std::size_t block_in_region = line - (r->base >> block_shift_);
+  e.block = static_cast<std::uint32_t>(r->first_block + block_in_region);
+  e.home = static_cast<std::uint16_t>(home_of(*r, block_in_region, nprocs));
+  e.region = static_cast<std::int16_t>(r - regions_.data());
 }
 
 int RegionTable::block_home(std::size_t global_block, int nprocs) const {

@@ -35,11 +35,54 @@ struct BlockRef {
   std::uint32_t region = 0;  // region index
 };
 
+/// Per-processor direct-mapped memoization of the line → (block, home,
+/// region) resolution, so hot repeated accesses skip the RegionTable binary
+/// search entirely. Pure cache of a pure function: an entry never goes stale
+/// from protocol activity (the address→block mapping does not change on
+/// coherence transitions); the ONLY invalidation events are region
+/// registration (region indices shift when the table re-sorts by base, and a
+/// previously-unregistered address may become shared) and table clear — the
+/// owning model flushes there. Unregistered lines are cached too
+/// (region == kNotShared), which is safe for the same reason.
+class LineLookaside {
+ public:
+  static constexpr std::int32_t kNotShared = -1;
+  /// 16 bytes, so four entries share a host cache line. block fits 32 bits
+  /// and the region/home indices 16 each (RegionTable::add() enforces the
+  /// bounds where blocks and regions are minted).
+  struct Entry {
+    std::uintptr_t tag = 0;      // line number + 1; 0 == empty
+    std::uint32_t block = 0;     // global block index of the line
+    std::int16_t region = -1;    // kNotShared, or index into regions()
+    std::uint16_t home = 0;
+  };
+
+  Entry& slot(std::uintptr_t line) {
+    return slots_[static_cast<std::size_t>(line) & (kEntries - 1)];
+  }
+  void flush() { slots_.assign(kEntries, Entry{}); }
+
+ private:
+  // A force walk touches on the order of a thousand distinct lines per body
+  // (tree nodes + interaction-list bodies); direct-mapped at 1024 entries
+  // that working set conflict-thrashes and every miss re-pays the region
+  // binary search. 4096 × 16 B = 64 KiB per processor keeps the whole walk
+  // resident while staying comfortably inside the host L2. Direct-mapped on
+  // the low line bits (lines are sequential).
+  static constexpr std::size_t kEntries = 4096;
+  std::vector<Entry> slots_ = std::vector<Entry>(kEntries);
+};
+
 class RegionTable {
  public:
   /// Configure the block size (coherence granularity) before registering.
-  void set_block_bytes(std::size_t b) { block_bytes_ = b; }
+  /// Must be a power of two (every real machine's is): the per-access path
+  /// turns every /, % by the block size into shift/mask — a hardware divide
+  /// by a runtime divisor costs more than the rest of a charged hit.
+  void set_block_bytes(std::size_t b);
   std::size_t block_bytes() const { return block_bytes_; }
+  /// log2(block_bytes()).
+  unsigned block_shift() const { return block_shift_; }
 
   void add(const void* base, std::size_t bytes, HomePolicy policy, int fixed_home,
            std::string name, int nprocs);
@@ -64,6 +107,43 @@ class RegionTable {
   bool resolve_range(const void* p, std::size_t n, int nprocs, std::size_t& first,
                      std::size_t& last, int& home_of_first) const;
 
+  /// resolve_range with the first line's resolution served from (and filled
+  /// into) `la`. Produces bit-identical results to resolve_range — the
+  /// lookaside memoizes a pure mapping — and additionally reports the region
+  /// index (kNotShared on failure) so callers can resolve the remaining
+  /// lines of a multi-line access with home_in() instead of the block_home
+  /// binary search. The owner of `la` must flush it on add()/clear().
+  /// Header-inline: the lookaside-hit path is a handful of instructions and
+  /// sits under every charged access; only the miss (find + memoize) goes
+  /// out of line.
+  bool resolve_range_cached(const void* p, std::size_t n, int nprocs, LineLookaside& la,
+                            std::size_t& first, std::size_t& last, int& home_of_first,
+                            std::int32_t& region) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t line = a >> block_shift_;
+    LineLookaside::Entry& e = la.slot(line);
+    if (e.tag != line + 1) fill_lookaside(e, a, line, nprocs);
+    region = e.region;
+    if (e.region == LineLookaside::kNotShared) return false;
+    const Region& r = regions_[static_cast<std::size_t>(e.region)];
+    first = e.block;
+    home_of_first = e.home;
+    // Same clamp as resolve_range: the range never crosses into an adjacent
+    // region.
+    const std::uintptr_t end = a + (n > 0 ? n : 1);
+    const std::uintptr_t cend = end < r.base + r.bytes ? end : r.base + r.bytes;
+    last = r.first_block + (((cend - 1) >> block_shift_) - (r.base >> block_shift_));
+    return true;
+  }
+
+  /// Home of a global block known to lie inside `region` (all blocks of one
+  /// resolve_range result do: the range is clamped to its region). Same
+  /// value block_home() would compute, without the binary search.
+  int home_in(std::int32_t region, std::size_t global_block, int nprocs) const {
+    const Region& r = regions_[static_cast<std::size_t>(region)];
+    return home_of(r, global_block - r.first_block, nprocs);
+  }
+
   /// Home processor of a global block index (binary search over the regions
   /// ordered by first_block; hit on every block of a multi-block access that
   /// spans interleaved homes).
@@ -73,9 +153,29 @@ class RegionTable {
 
  private:
   const Region* find(std::uintptr_t a) const;
-  int home_of(const Region& r, std::size_t block_in_region, int nprocs) const;
+  /// Lookaside-miss slow path of resolve_range_cached: one full resolution,
+  /// memoized (negative results too) for the next access to this line.
+  void fill_lookaside(LineLookaside::Entry& e, std::uintptr_t a, std::uintptr_t line,
+                      int nprocs) const;
+  int home_of(const Region& r, std::size_t block_in_region, int nprocs) const {
+    switch (r.policy) {
+      case HomePolicy::kFixed:
+        return r.fixed_home;
+      case HomePolicy::kInterleavedBlock:
+        return static_cast<int>(block_in_region % static_cast<std::size_t>(nprocs));
+      case HomePolicy::kProcStriped: {
+        const std::size_t chunk = (r.num_blocks + static_cast<std::size_t>(nprocs) - 1) /
+                                  static_cast<std::size_t>(nprocs);
+        const std::size_t c = block_in_region / chunk;
+        const auto np1 = static_cast<std::size_t>(nprocs) - 1;
+        return static_cast<int>(c < np1 ? c : np1);
+      }
+    }
+    return 0;
+  }
 
   std::size_t block_bytes_ = 128;
+  unsigned block_shift_ = 7;
   std::size_t total_blocks_ = 0;
   std::vector<Region> regions_;  // sorted by base
   // regions_ indices ordered by first_block: global block indices are assigned

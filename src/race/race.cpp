@@ -434,6 +434,13 @@ std::uint64_t RaceModel::on_read_shared(int proc, const void* p, std::size_t n) 
   return inner_->on_read_shared(proc, p, n);
 }
 
+std::uint64_t RaceModel::on_read_shared_span(int proc, const void* p, std::size_t n,
+                                             std::size_t stride, std::size_t count) {
+  // Unchecked like the scalar form; the wrapped model's own span fast path
+  // still applies underneath the decorator.
+  return inner_->on_read_shared_span(proc, p, n, stride, count);
+}
+
 void RaceModel::on_phase(int proc, Phase ph) {
   detector_.on_phase(proc, ph);
   inner_->on_phase(proc, ph);

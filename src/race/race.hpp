@@ -302,7 +302,10 @@ class RaceModel final : public MemModel {
   std::uint64_t on_atomic(int proc, const void* sync, bool is_write, const void* p,
                           std::size_t n, std::uint64_t now) override;
   std::uint64_t on_read_shared(int proc, const void* p, std::size_t n) override;
+  std::uint64_t on_read_shared_span(int proc, const void* p, std::size_t n,
+                                    std::size_t stride, std::size_t count) override;
   void on_phase(int proc, Phase ph) override;
+  void set_serialized(bool s) override { inner_->set_serialized(s); }
 
   const MemProcStats& proc_stats(int p) const override { return inner_->proc_stats(p); }
   MemProcStats total_stats() const override { return inner_->total_stats(); }

@@ -37,6 +37,8 @@ class NativeProc {
   void read(const void* /*p*/, std::size_t /*n*/) {}
   void write(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared(const void* /*p*/, std::size_t /*n*/) {}
+  void read_shared_span(const void* /*p*/, std::size_t /*n*/, std::size_t /*stride*/,
+                        std::size_t /*count*/) {}
 
   /// Combined charge + load/store of a shared atomic that lock-free readers
   /// race on. On real threads this is a plain acquire/release access.

@@ -35,6 +35,8 @@ class OmpProc {
   void read(const void* /*p*/, std::size_t /*n*/) {}
   void write(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared(const void* /*p*/, std::size_t /*n*/) {}
+  void read_shared_span(const void* /*p*/, std::size_t /*n*/, std::size_t /*stride*/,
+                        std::size_t /*count*/) {}
 
   template <class T>
   T ordered_load(const std::atomic<T>& a, const void* /*charge_addr*/, std::size_t /*n*/) {

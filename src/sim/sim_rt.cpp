@@ -51,6 +51,16 @@ SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend,
     race_model_ = rm.get();
     mem_ = std::move(rm);
   }
+  mem_slowpath_ = mem_slowpath_enabled();
+  mem_fast_.bind(mem_.get(), /*force_virtual=*/mem_slowpath_);
+  // The fiber backend serializes unordered stretches in host time, which
+  // licenses the model's eager-invalidation cache mode (same virtual results,
+  // no shared epoch loads on the read path). Forwards through the race
+  // decorator when one is installed. The slow-path oracle deliberately stays
+  // on lazy epochs so a PTB_MEM_SLOWPATH run re-checks the eager/lazy
+  // equivalence end to end, not just the span coalescing.
+  if (backend_ == SimBackend::kFibers && !mem_slowpath_)
+    mem_->set_serialized(true);
   const auto np = static_cast<std::size_t>(nprocs);
   clock_.assign(np, 0);
   status_.assign(np, Status::kDone);
@@ -114,6 +124,13 @@ void SimContext::prof_note_charge(int p, const void* addr, const MemProcStats& b
   const MemProcStats& after = mem_->proc_stats(p);
   prof_->charge(p, addr, clock_[static_cast<std::size_t>(p)] - clock_before,
                 after.remote_misses - before.remote_misses,
+                after.invalidations_sent - before.invalidations_sent);
+}
+
+void SimContext::prof_note_unordered(int p, const void* addr, std::uint64_t cost,
+                                     const MemProcStats& before,
+                                     const MemProcStats& after) {
+  prof_->charge(p, addr, cost, after.remote_misses - before.remote_misses,
                 after.invalidations_sent - before.invalidations_sent);
 }
 
@@ -454,11 +471,6 @@ void SimContext::op_begin_phase(int p, Phase ph) {
 
 // --- SimProc forwarding ---
 
-void SimProc::compute(double units) {
-  ctx_->pending_[static_cast<std::size_t>(self_)] +=
-      static_cast<std::uint64_t>(units * ctx_->spec_.ns_per_work);
-}
-
 void SimProc::read(const void* p, std::size_t n) {
   SimContext::OpLock l(*ctx_);
   ctx_->flush_pending(self_);
@@ -471,31 +483,6 @@ void SimProc::write(const void* p, std::size_t n) {
   ctx_->flush_pending(self_);
   ctx_->wait_for_turn(l, self_);
   ctx_->ordered_charge(self_, p, n, /*is_write=*/true);
-}
-
-void SimProc::read_shared(const void* p, std::size_t n) {
-  SimContext& ctx = *ctx_;
-  const auto idx = static_cast<std::size_t>(self_);
-  std::uint64_t cost;
-  if (ctx.tracer_ != nullptr || ctx.prof_ != nullptr) {
-    // Snapshot-and-diff around the model call so misses on the fast path
-    // show up as instants too. Timestamps are approximate (the pending
-    // bucket has not been folded into the clock yet). Both backends
-    // serialize host execution, so the observers need no locking here.
-    const MemProcStats snap = ctx.mem_->proc_stats(self_);
-    cost = ctx.mem_->on_read_shared(self_, p, n);
-    const MemProcStats& after = ctx.mem_->proc_stats(self_);
-    if (ctx.tracer_ != nullptr)
-      trace_mem_events(*ctx.tracer_, self_, snap, after,
-                       ctx.clock_[idx] + ctx.pending_[idx]);
-    if (ctx.prof_ != nullptr)
-      ctx.prof_->charge(self_, p, cost, after.remote_misses - snap.remote_misses,
-                        after.invalidations_sent - snap.invalidations_sent);
-  } else {
-    cost = ctx.mem_->on_read_shared(self_, p, n);
-  }
-  ctx.pending_[idx] += cost;
-  ctx.note_mem_stall(self_, cost);
 }
 
 void SimProc::lock(const void* addr) { ctx_->op_lock(self_, addr); }

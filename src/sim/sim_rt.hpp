@@ -55,6 +55,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/dispatch.hpp"
 #include "mem/model.hpp"
 #include "platform/spec.hpp"
 #include "rt/phase.hpp"
@@ -104,6 +105,17 @@ class SimProc {
   void read(const void* p, std::size_t n);
   void write(const void* p, std::size_t n);
   void read_shared(const void* p, std::size_t n);
+
+  /// Charges `count` unordered shared reads of `n` bytes, element i at
+  /// `p + i*stride`, in one runtime call: one dispatch, one region
+  /// resolution, one observer snapshot — instead of `count` of each.
+  /// Accounting is bit-identical to the equivalent read_shared loop (the
+  /// protocol models' span contract, mem/model.hpp), so annotation layers
+  /// may use it on any contiguous run of read_shared calls with no ordered
+  /// operation in between. Ordered operations must NOT be batched this way:
+  /// their fold points define virtual-time order.
+  void read_shared_span(const void* p, std::size_t n, std::size_t stride,
+                        std::size_t count);
 
   /// Combined charge + ACTUAL load/store of a shared atomic, executed at
   /// this processor's virtual-time turn. This is what makes data-dependent
@@ -195,17 +207,11 @@ class SimContext {
     OpLock l(*this);
     flush_pending(p);
     wait_for_turn(l, p);
-    auto call = [&](MemModel& m, std::uint64_t now) {
+    // on_atomic stays a virtual call: decorators key sync state off it, and
+    // it is far off the hot path.
+    charge_model_prof(p, addr, [&](MemModel& m, std::uint64_t now) {
       return m.on_atomic(p, sync, is_write, addr, n, now);
-    };
-    if (prof_ == nullptr) {
-      charge_model(p, call);
-    } else {
-      const MemProcStats before = mem_->proc_stats(p);
-      const std::uint64_t c0 = clock_[static_cast<std::size_t>(p)];
-      charge_model(p, call);
-      prof_note_charge(p, addr, before, c0);
-    }
+    });
     return f();
   }
 
@@ -304,11 +310,12 @@ class SimContext {
     if (tracer_ != nullptr)
       trace_mem_events(*tracer_, p, snap, mem_->proc_stats(p), now);
   }
-  /// charge_model for a plain ordered read/write of [addr, addr+n).
-  void ordered_charge(int p, const void* addr, std::size_t n, bool is_write) {
-    auto call = [&](MemModel& m, std::uint64_t now) {
-      return is_write ? m.on_write(p, addr, n, now) : m.on_read(p, addr, n, now);
-    };
+  /// charge_model plus, when profiling, the before/after bracketing
+  /// prof_note_charge needs. The ONE place that bracketing lives — every
+  /// ordered charged access (plain and atomic) goes through here, so the
+  /// profiled and unprofiled paths cannot drift.
+  template <class F>
+  void charge_model_prof(int p, const void* addr, F&& call) {
     if (prof_ == nullptr) {
       charge_model(p, call);
       return;
@@ -318,10 +325,42 @@ class SimContext {
     charge_model(p, call);
     prof_note_charge(p, addr, before, c0);
   }
+  /// charge_model for a plain ordered read/write of [addr, addr+n), routed
+  /// through the sealed dispatch (a direct call for the three protocol
+  /// models, the virtual path for decorators and the slow-path oracle).
+  void ordered_charge(int p, const void* addr, std::size_t n, bool is_write) {
+    charge_model_prof(p, addr, [&](MemModel&, std::uint64_t now) {
+      return is_write ? mem_fast_.on_write(p, addr, n, now)
+                      : mem_fast_.on_read(p, addr, n, now);
+    });
+  }
+  /// The unordered (read_shared) counterpart of charge_model: runs one
+  /// protocol-model call (`call() -> cost`) with the observer
+  /// snapshot-and-diff around it when a tracer or profiler is attached.
+  /// Timestamps are approximate (the pending bucket has not been folded into
+  /// the clock yet); both backends serialize host execution, so the
+  /// observers need no locking. The ONE copy of this block — the scalar and
+  /// span fast paths share it, so they cannot drift.
+  template <class F>
+  std::uint64_t observed_unordered_call(int p, const void* addr, F&& call) {
+    if (tracer_ == nullptr && prof_ == nullptr) return call();
+    const auto idx = static_cast<std::size_t>(p);
+    const MemProcStats snap = mem_->proc_stats(p);
+    const std::uint64_t cost = call();
+    const MemProcStats& after = mem_->proc_stats(p);
+    if (tracer_ != nullptr)
+      trace_mem_events(*tracer_, p, snap, after, clock_[idx] + pending_[idx]);
+    if (prof_ != nullptr) prof_note_unordered(p, addr, cost, snap, after);
+    return cost;
+  }
   /// Profiling on: records one charged access (cost and remote-miss /
   /// invalidation deltas) into the recorder's per-line table.
   void prof_note_charge(int p, const void* addr, const MemProcStats& before,
                         std::uint64_t clock_before);
+  /// Same, for the unordered path (the cost is known directly; no clock
+  /// bracketing, as read_shared never touches the clock).
+  void prof_note_unordered(int p, const void* addr, std::uint64_t cost,
+                           const MemProcStats& before, const MemProcStats& after);
   void op_lock(int p, const void* addr);
   void op_unlock(int p, const void* addr);
   void op_barrier(int p);
@@ -331,6 +370,13 @@ class SimContext {
   int nprocs_;
   SimBackend backend_;
   std::unique_ptr<MemModel> mem_;
+  /// Sealed dispatch bound to mem_ (mem/dispatch.hpp): the hot per-access
+  /// path. Falls back to the virtual route for decorators and under
+  /// PTB_MEM_SLOWPATH.
+  MemDispatch mem_fast_;
+  /// PTB_MEM_SLOWPATH sampled at construction: the reference-path oracle.
+  /// Gates span coalescing (spans decay to per-element scalar calls).
+  bool mem_slowpath_ = false;
   /// Non-null iff race detection is on: then mem_ IS this decorator (kept
   /// separately typed for report access and tracer forwarding).
   race::RaceModel* race_model_ = nullptr;
@@ -380,6 +426,49 @@ class SimContext {
 };
 
 inline int SimProc::nprocs() const { return ctx_->nprocs_; }
+
+// The three unordered hot-path operations are header-inline: together with
+// the sealed dispatch this turns the common-case charge into a direct call
+// chain the compiler can see end to end (docs/PERF.md).
+
+inline void SimProc::compute(double units) {
+  ctx_->pending_[static_cast<std::size_t>(self_)] +=
+      static_cast<std::uint64_t>(units * ctx_->spec_.ns_per_work);
+}
+
+inline void SimProc::read_shared(const void* p, std::size_t n) {
+  SimContext& ctx = *ctx_;
+  const std::uint64_t cost = ctx.observed_unordered_call(
+      self_, p, [&] { return ctx.mem_fast_.on_read_shared(self_, p, n); });
+  ctx.pending_[static_cast<std::size_t>(self_)] += cost;
+  ctx.note_mem_stall(self_, cost);
+}
+
+inline void SimProc::read_shared_span(const void* p, std::size_t n, std::size_t stride,
+                                      std::size_t count) {
+  if (count == 0) return;
+  SimContext& ctx = *ctx_;
+  if (ctx.mem_slowpath_ || ctx.prof_ != nullptr) {
+    // The oracle charges per element by definition. Profiled runs also stay
+    // per element so the recorder attributes each element's cost to its own
+    // address — identical attribution fast path vs oracle.
+    const char* a = static_cast<const char*>(p);
+    for (std::size_t i = 0; i < count; ++i) read_shared(a + i * stride, n);
+    return;
+  }
+  if (count == 1) {
+    // Singleton spans are the common case in the force walk (interaction
+    // lists hit scattered slots); the scalar path charges them identically
+    // without the span setup.
+    read_shared(p, n);
+    return;
+  }
+  const std::uint64_t cost = ctx.observed_unordered_call(self_, p, [&] {
+    return ctx.mem_fast_.on_read_shared_span(self_, p, n, stride, count);
+  });
+  ctx.pending_[static_cast<std::size_t>(self_)] += cost;
+  ctx.note_mem_stall(self_, cost);
+}
 
 template <class T>
 T SimProc::ordered_load(const std::atomic<T>& a, const void* charge_addr, std::size_t n) {

@@ -1,0 +1,58 @@
+// Span-aware annotation helpers: batching contiguous body-data charges.
+//
+// The shadow arena (AppState::body_arena) keeps each processor's bodies in
+// consecutive slots, so the body lists the read-only phases walk — a leaf's
+// claimed bodies, an ORB subset — are mostly runs of arena-adjacent
+// addresses. read_bodies_spanned detects those runs and charges each with
+// ONE rt.read_shared_span call instead of a read_shared per body: one
+// dispatch, one region resolution and one observer snapshot per run.
+//
+// Accounting contract: the charge sequence is identical to the per-body
+// read_shared loop (each span element is exactly one body's charge address),
+// and the per-body host work runs after its run's charge instead of
+// interleaved with it — legal in a read_shared-only stretch because
+// unordered charges and compute() only add to the per-processor pending
+// bucket and never touch the clock (docs/PERF.md). Callers must NOT issue
+// ordered operations from per_body: those fold the pending bucket, and
+// reordering around a fold changes virtual times.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "harness/state.hpp"
+
+namespace ptb::annotate {
+
+/// Charges `bytes` of body data for each of ids[0..count), in order,
+/// skipping any id equal to `skip` (pass -1 to keep all), then calls
+/// per_body(id) for each charged body. Maximal runs of arena-consecutive
+/// bodies become one read_shared_span; bodies whose slots are not
+/// consecutive (migration clamping, list order) fall out as runs of one,
+/// i.e. plain read_shared charges.
+template <class RT, class F>
+void read_bodies_spanned(RT& rt, const AppState& st, const std::int32_t* ids,
+                         std::size_t count, std::size_t bytes, std::int32_t skip,
+                         F&& per_body) {
+  std::size_t i = 0;
+  while (i < count) {
+    if (ids[i] == skip) {
+      ++i;
+      continue;
+    }
+    const std::int32_t slot = st.body_slot[static_cast<std::size_t>(ids[i])];
+    std::size_t j = i + 1;
+    while (j < count && ids[j] != skip &&
+           st.body_slot[static_cast<std::size_t>(ids[j])] ==
+               slot + static_cast<std::int32_t>(j - i))
+      ++j;
+    if (j - i == 1)  // scattered slot: most runs; skip the span wrapper
+      rt.read_shared(st.body_charge(ids[i]), bytes);
+    else
+      rt.read_shared_span(st.body_charge(ids[i]), bytes, sizeof(Body), j - i);
+    for (std::size_t k = i; k < j; ++k) per_body(ids[k]);
+    i = j;
+  }
+}
+
+}  // namespace ptb::annotate

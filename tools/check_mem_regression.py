@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_mem_micro JSON against a checked-in baseline.
+
+Usage: check_mem_regression.py BASELINE.json NEW.json [--tolerance FRAC]
+
+Micro rows are matched on (bench, platform, shape, path) and the
+charges_per_sec throughput of each matched pair is compared; the check fails
+if any charge path regresses by more than --tolerance (fractional, default
+0.30 — generous because shared CI runners are noisy; the tracked number is
+the checked-in BENCH_mem.json regenerated on a quiet machine).
+
+The mem_e2e row is the headline: it times a full challenge/SPACE experiment
+on the fast path and on the PTB_MEM_SLOWPATH=1 reference path. The check
+fails if the new e2e speedup falls below (baseline speedup) * (1 - tolerance)
+or if the run reports virtual_results_identical != "yes" — bit-identical
+virtual results are the license for every fast-path shortcut (see
+docs/PERF.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (
+        row.get("bench"),
+        row.get("platform"),
+        row.get("shape"),
+        row.get("path"),
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="maximum allowed fractional drop (default 0.30)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base_rows = json.load(f)
+    with open(args.new) as f:
+        new_rows = json.load(f)
+
+    baseline = {row_key(r): r for r in base_rows if r.get("bench") == "mem_micro"}
+    base_e2e = next((r for r in base_rows if r.get("bench") == "mem_e2e"), None)
+
+    failed = False
+    compared = 0
+    for row in new_rows:
+        if row.get("bench") == "mem_e2e":
+            if row.get("virtual_results_identical") != "yes":
+                print("FAIL: fast path and PTB_MEM_SLOWPATH oracle diverged")
+                return 1
+            cur = row["speedup"]
+            status = "ok"
+            if base_e2e is not None:
+                old = base_e2e["speedup"]
+                if cur < old * (1.0 - args.tolerance):
+                    status = "REGRESSION"
+                    failed = True
+                print(f"     e2e: {old:12.2f} -> {cur:12.2f} x fast-path speedup "
+                      f"{status}")
+            else:
+                print(f"     e2e: {cur:12.2f}x fast-path speedup (no baseline row)")
+            compared += 1
+        if row.get("bench") != "mem_micro":
+            continue
+        base = baseline.get(row_key(row))
+        if base is None:
+            print(f"skip (no baseline row): {row_key(row)}")
+            continue
+        compared += 1
+        old = base["charges_per_sec"]
+        cur = row["charges_per_sec"]
+        change = (cur - old) / old
+        status = "ok"
+        if row.get("path") == "fast" and change < -args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(f"{row['platform']:>14}/{row['shape']:<6} {row['path']:>8}: "
+              f"{old:12.0f} -> {cur:12.0f} charges/s ({change:+.1%}) {status}")
+
+    if compared == 0:
+        print("FAIL: no comparable mem rows found")
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
