@@ -132,6 +132,8 @@ struct BenchOptions {
   /// times are unchanged; race counts land in each ExperimentResult.
   bool race = false;
   SimBackend backend = default_sim_backend();
+  /// Host worker threads for the parallel backend (0 = default).
+  int workers = 0;
   JsonReport json;
 };
 
@@ -152,12 +154,15 @@ inline BenchOptions parse_options(int argc, char** argv, const std::string& defa
   opt.measured = static_cast<int>(cli.get_int("steps", 2, "measured time-steps"));
   const std::string backend =
       cli.get_string("backend", to_string(default_sim_backend()),
-                     "scheduler backend: fibers | threads");
-  if (backend != "fibers" && backend != "threads") {
-    std::fprintf(stderr, "bad --backend: %s (want fibers | threads)\n", backend.c_str());
+                     "scheduler backend: fibers | threads | parallel");
+  if (backend != "fibers" && backend != "threads" && backend != "parallel") {
+    std::fprintf(stderr, "bad --backend: %s (want fibers | threads | parallel)\n",
+                 backend.c_str());
     std::exit(2);
   }
   opt.backend = sim_backend_from_string(backend);
+  opt.workers = static_cast<int>(
+      cli.get_int("workers", 0, "host workers for --backend=parallel (0 = auto)"));
   opt.race = cli.get_bool("race", false,
                           "run under the data-race detector (or set PTB_RACE)");
   const std::string json_path =
@@ -196,6 +201,7 @@ inline ExperimentSpec make_spec(const std::string& platform, Algorithm alg, int 
   s.warmup_steps = opt.warmup;
   s.measured_steps = opt.measured;
   s.backend = opt.backend;
+  s.sim_workers = opt.workers;
   s.race = opt.race;
   return s;
 }

@@ -3,10 +3,13 @@
 // Every ordered operation (here: fetch_add on a shared counter) must wait
 // until its processor's virtual clock is the minimum over all active
 // processors. This binary drives a synthetic workload of ordered ops +
-// periodic barriers through both scheduler backends and reports host-side
-// ordered-ops/second. The fiber backend replaces the mutex/condvar handoff
-// with a user-space context switch, so it should be several times faster;
-// the two backends must still agree bit-for-bit on every virtual result.
+// periodic barriers through all three scheduler backends and reports
+// host-side ordered-ops/second. The fiber backend replaces the mutex/condvar
+// handoff with a user-space context switch, so it should be several times
+// faster; the parallel backend runs the same fiber scheduler (its section
+// pool is idle here — this workload is all ordered ops) so it must track
+// fibers closely; all backends must agree bit-for-bit on every virtual
+// result.
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -62,7 +65,7 @@ int main(int argc, char** argv) {
       cli.get_string("json", "BENCH_sched.json", "JSON output path (empty disables)");
   cli.finish();
 
-  banner("sched micro", "host-side ordered-ops/sec of the two scheduler backends");
+  banner("sched micro", "host-side ordered-ops/sec of the scheduler backends");
   std::printf("%d simulated processors, %d ordered ops each, best of %d reps\n\n",
               nprocs, ops, reps);
 
@@ -70,9 +73,10 @@ int main(int argc, char** argv) {
   json.set_path(json_path);
   json.context("git_sha", PTB_GIT_SHA).context("build_type", PTB_BUILD_TYPE);
 
-  MicroResult best[2];
-  const SimBackend backends[2] = {SimBackend::kFibers, SimBackend::kThreads};
-  for (int b = 0; b < 2; ++b) {
+  MicroResult best[3];
+  const SimBackend backends[3] = {SimBackend::kFibers, SimBackend::kThreads,
+                                  SimBackend::kParallel};
+  for (int b = 0; b < 3; ++b) {
     run_backend(backends[b], nprocs, ops / 10 + 1);  // warm-up
     for (int rep = 0; rep < reps; ++rep) {
       MicroResult r = run_backend(backends[b], nprocs, ops);
@@ -91,7 +95,8 @@ int main(int argc, char** argv) {
   }
 
   // Cross-backend agreement: virtual results must be bit-identical.
-  bool identical = best[0].clocks == best[1].clocks && best[0].counter == best[1].counter;
+  bool identical = best[0].clocks == best[1].clocks && best[0].counter == best[1].counter &&
+                   best[0].clocks == best[2].clocks && best[0].counter == best[2].counter;
   const double speedup = best[1].seconds / best[0].seconds;
   std::printf("\nfibers vs threads: %.1fx ordered-op throughput, virtual results %s\n",
               speedup, identical ? "identical" : "DIVERGED");

@@ -43,6 +43,17 @@ int main(int argc, char** argv) {
   spec.bh.partitioner = cli.get_string("partitioner", "costzones", "costzones|orb") == "orb"
                             ? Partitioner::kOrb
                             : Partitioner::kCostzones;
+  const std::string backend =
+      cli.get_string("backend", to_string(default_sim_backend()),
+                     "scheduler backend: fibers|threads|parallel (or PTB_SIM_BACKEND)");
+  if (backend != "fibers" && backend != "threads" && backend != "parallel") {
+    std::fprintf(stderr, "ptbsim: bad --backend '%s' (want fibers|threads|parallel)\n",
+                 backend.c_str());
+    return 2;
+  }
+  spec.backend = sim_backend_from_string(backend);
+  spec.sim_workers = static_cast<int>(cli.get_int(
+      "workers", 0, "host workers for --backend=parallel (0 = auto / PTB_SIM_WORKERS)"));
   spec.race = cli.get_bool("race", false,
                            "run under the data-race detector (or set PTB_RACE); "
                            "exits 2 if any race is found");

@@ -1,0 +1,61 @@
+#include "bh/forcekernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace ptb::bh {
+
+bool force_slowpath_enabled() {
+  const char* env = std::getenv("PTB_FORCE_SLOWPATH");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+void InteractionList::grow() {
+  const std::size_t cap = x_.empty() ? 1024 : x_.size() * 2;
+  x_.resize(cap);
+  y_.resize(cap);
+  z_.resize(cap);
+  m_.resize(cap);
+}
+
+Vec3 evaluate(const InteractionList& il, const Vec3& pos, double eps2) {
+  constexpr std::size_t kBlock = 8;
+  alignas(64) double dx[kBlock];
+  alignas(64) double dy[kBlock];
+  alignas(64) double dz[kBlock];
+  alignas(64) double inv[kBlock];
+  const double* x = il.x();
+  const double* y = il.y();
+  const double* z = il.z();
+  const double* m = il.m();
+  const std::size_t n = il.size();
+  Vec3 acc{};
+  for (std::size_t i = 0; i < n; i += kBlock) {
+    const std::size_t blk = std::min(kBlock, n - i);
+    // Independent lanes: the subtracts, squares and the dominant
+    // divide+sqrt vectorize without any reassociation.
+    for (std::size_t j = 0; j < blk; ++j) {
+      const double ddx = x[i + j] - pos.x;
+      const double ddy = y[i + j] - pos.y;
+      const double ddz = z[i + j] - pos.z;
+      const double r2 = ddx * ddx + ddy * ddy + ddz * ddz + eps2;
+      dx[j] = ddx;
+      dy[j] = ddy;
+      dz[j] = ddz;
+      inv[j] = 1.0 / (r2 * std::sqrt(r2));
+    }
+    // Sequential fold in list (= walk) order; the multiply-add shape per
+    // component is the same as the scalar walk's `acc += (mass*inv)*d`, so
+    // any FMA contraction the compiler applies hits both paths identically.
+    for (std::size_t j = 0; j < blk; ++j) {
+      const double s = m[i + j] * inv[j];
+      acc.x += dx[j] * s;
+      acc.y += dy[j] * s;
+      acc.z += dz[j] * s;
+    }
+  }
+  return acc;
+}
+
+}  // namespace ptb::bh

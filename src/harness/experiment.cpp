@@ -126,6 +126,7 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   AppState st = make_app_state(effective_bh(spec), spec.nprocs);
   SimContext ctx(platform, spec.nprocs, spec.backend,
                  spec.race || default_race_detection());
+  if (spec.sim_workers > 0) ctx.set_workers(spec.sim_workers);
   if (spec.tracer != nullptr) {
     spec.tracer->set_clock_domain("virtual");
     ctx.set_tracer(spec.tracer);
@@ -180,6 +181,19 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   // Everything below is *derived* from the metrics registry — the scalar
   // fields are conveniences over the same data benches can query directly.
   ingest_run_metrics(out.metrics, out.run.proc_stats, &ctx.mem());
+  // Force-phase interaction counts (last measured step), split by partner
+  // kind: cell = subtree approximated by its center of mass, body = direct.
+  for (int p = 0; p < spec.nprocs; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    trace::Labels lc = trace::proc_label(p);
+    lc.emplace_back("kind", "cell");
+    out.metrics.add("forces.interactions", lc,
+                    static_cast<double>(st.interactions_cell[pi]));
+    trace::Labels lb = trace::proc_label(p);
+    lb.emplace_back("kind", "body");
+    out.metrics.add("forces.interactions", lb,
+                    static_cast<double>(st.interactions_body[pi]));
+  }
   const char* tb = phase_name(Phase::kTreeBuild);
   for (int p = 0; p < static_cast<int>(out.run.proc_stats.size()); ++p) {
     const double acq =

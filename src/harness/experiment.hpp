@@ -25,9 +25,12 @@ struct ExperimentSpec {
   int nprocs = 16;
   int warmup_steps = 2;
   int measured_steps = 2;
-  /// Scheduler backend of the simulator (fibers by default; threads is the
-  /// cross-check backend — both produce bit-identical results).
+  /// Scheduler backend of the simulator (fibers by default; threads and
+  /// parallel are cross-check backends — all produce bit-identical results).
   SimBackend backend = default_sim_backend();
+  /// Host worker threads for SimBackend::kParallel's unordered-section pool
+  /// (0 = default_sim_workers(); ignored by the other backends).
+  int sim_workers = 0;
   /// Optional event tracer attached to the parallel run (never the
   /// sequential baseline). Must outlive the run; null = tracing off.
   trace::Tracer* tracer = nullptr;

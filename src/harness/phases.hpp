@@ -6,8 +6,10 @@
 
 #include <algorithm>
 
+#include "bh/forcekernel.hpp"
 #include "harness/state.hpp"
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 #include "treebuild/annotate.hpp"
 
 namespace ptb {
@@ -165,9 +167,13 @@ inline Vec3 pair_accel(const Vec3& from, const Vec3& to, double mass, double eps
   return (mass * inv) * d;
 }
 
+/// Reference (PTB_FORCE_SLOWPATH=1) path: the classic in-walk accumulation.
+/// Kept verbatim as the oracle for the gather/evaluate split below — same
+/// memory charges, same compute total, same accumulation order.
 template <class RT>
 void force_walk(RT& rt, AppState& st, Node* n, const Vec3& pos, std::int32_t self_idx,
-                double theta2, double eps2, Vec3& acc, std::int64_t& count) {
+                double theta2, double eps2, Vec3& acc, std::uint64_t& cells,
+                std::uint64_t& bodies) {
   rt.read_shared(n, 72);  // cube + com + mass
   rt.compute(work::kTraversalStep);
   if (n->is_leaf(std::memory_order_relaxed)) {
@@ -180,7 +186,7 @@ void force_walk(RT& rt, AppState& st, Node* n, const Vec3& pos, std::int32_t sel
           const Body& other = st.bodies[static_cast<std::size_t>(bj)];
           rt.compute(work::kBodyBodyInteraction);
           acc += pair_accel(pos, other.pos, other.mass, eps2);
-          ++count;
+          ++bodies;
         });
     return;
   }
@@ -190,13 +196,44 @@ void force_walk(RT& rt, AppState& st, Node* n, const Vec3& pos, std::int32_t sel
     // Far enough: the whole subtree is approximated by its center of mass.
     rt.compute(work::kBodyCellInteraction);
     acc += pair_accel(pos, n->com, n->mass, eps2);
-    ++count;
+    ++cells;
     return;
   }
   rt.read_shared(&n->child[0], sizeof(Node*) * 8);
   for (int o = 0; o < 8; ++o) {
     Node* c = n->get_child(o, std::memory_order_relaxed);
-    if (c != nullptr) force_walk(rt, st, c, pos, self_idx, theta2, eps2, acc, count);
+    if (c != nullptr) force_walk(rt, st, c, pos, self_idx, theta2, eps2, acc, cells, bodies);
+  }
+}
+
+/// Fast-path gather: the SAME walk — every branch, every memory charge, in
+/// the same order — but interaction partners go into the list instead of
+/// being evaluated in place, and the per-interaction compute charges are
+/// batched by the caller (compute_n; pending adds commute, docs/PERF.md).
+template <class RT>
+void gather_walk(RT& rt, AppState& st, Node* n, const Vec3& pos, std::int32_t self_idx,
+                 double theta2, bh::InteractionList& il) {
+  rt.read_shared(n, 72);  // cube + com + mass
+  rt.compute(work::kTraversalStep);
+  if (n->is_leaf(std::memory_order_relaxed)) {
+    annotate::read_bodies_spanned(
+        rt, st, n->bodies, static_cast<std::size_t>(n->nbodies), 48, self_idx,
+        [&](std::int32_t bj) {
+          const Body& other = st.bodies[static_cast<std::size_t>(bj)];
+          il.push_body(other.pos, other.mass);
+        });
+    return;
+  }
+  const Vec3 d = n->com - pos;
+  const double side = 2.0 * n->cube.half;
+  if (side * side < theta2 * norm2(d)) {
+    il.push_cell(n->com, n->mass);
+    return;
+  }
+  rt.read_shared(&n->child[0], sizeof(Node*) * 8);
+  for (int o = 0; o < 8; ++o) {
+    Node* c = n->get_child(o, std::memory_order_relaxed);
+    if (c != nullptr) gather_walk(rt, st, c, pos, self_idx, theta2, il);
   }
 }
 
@@ -205,25 +242,69 @@ void force_walk(RT& rt, AppState& st, Node* n, const Vec3& pos, std::int32_t sel
 /// Computes accelerations for this processor's bodies; stores each body's
 /// interaction count as its cost for the next costzones pass. Ends on a
 /// barrier in the driver (not here).
+///
+/// The whole per-body loop is one unordered section: it reads only the tree
+/// and body data (read_shared) and writes only this processor's own bodies,
+/// so the parallel backend may overlap processors for real. The ordered
+/// write-back charges are deferred to a loop after the section — the store
+/// buffer drains at the end of the walk, so to speak — which keeps the
+/// section pure and charges exactly one ordered write of 32 bytes (acc +
+/// cost) per body either way.
 template <class RT>
 void forces_phase(RT& rt, AppState& st) {
   const auto pi = static_cast<std::size_t>(rt.self());
   const double theta2 = st.cfg.theta * st.cfg.theta;
   const double eps2 = st.cfg.eps * st.cfg.eps;
-  std::uint64_t total = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t bodies = 0;
   Node* root = st.tree.root;
-  for (std::int32_t bi : st.partition[pi]) {
-    Body& b = st.bodies[static_cast<std::size_t>(bi)];
-    rt.read(st.body_charge(bi), 48);
-    Vec3 acc{};
-    std::int64_t count = 0;
-    detail::force_walk(rt, st, root, b.pos, bi, theta2, eps2, acc, count);
-    b.acc = acc;
-    b.cost = static_cast<double>(count);
-    rt.write(st.body_charge(bi), 32);
-    total += static_cast<std::uint64_t>(count);
-  }
-  st.interactions[pi] = total;
+  const bool slow = bh::force_slowpath_enabled();
+  bh::InteractionList& il = st.force_ilist[pi];
+  trace::Tracer* const tr = rt.tracer();
+  rt.unordered([&] {
+    for (std::int32_t bi : st.partition[pi]) {
+      Body& b = st.bodies[static_cast<std::size_t>(bi)];
+      rt.read_shared(st.body_charge(bi), 48);
+      Vec3 acc{};
+      std::uint64_t nc = 0;
+      std::uint64_t nb = 0;
+      if (slow) {
+        detail::force_walk(rt, st, root, b.pos, bi, theta2, eps2, acc, nc, nb);
+      } else if (tr == nullptr) {
+        il.clear();
+        detail::gather_walk(rt, st, root, b.pos, bi, theta2, il);
+        nc = il.cells();
+        nb = il.bodies();
+        rt.compute_n(work::kBodyCellInteraction, nc);
+        rt.compute_n(work::kBodyBodyInteraction, nb);
+        acc = bh::evaluate(il, b.pos, eps2);
+      } else {
+        // Traced: same work, bracketed into per-body gather/evaluate
+        // sub-spans. The interaction compute is charged after the gather
+        // timestamp so its cost lands in the evaluate span.
+        il.clear();
+        const std::uint64_t t0 = rt.trace_now();
+        detail::gather_walk(rt, st, root, b.pos, bi, theta2, il);
+        const std::uint64_t t1 = rt.trace_now();
+        nc = il.cells();
+        nb = il.bodies();
+        rt.compute_n(work::kBodyCellInteraction, nc);
+        rt.compute_n(work::kBodyBodyInteraction, nb);
+        acc = bh::evaluate(il, b.pos, eps2);
+        const std::uint64_t t2 = rt.trace_now();
+        tr->span(rt.self(), trace::kCatPhase, "force-gather", t0, t1);
+        tr->span(rt.self(), trace::kCatPhase, "force-evaluate", t1, t2);
+      }
+      b.acc = acc;
+      b.cost = static_cast<double>(nc + nb);
+      cells += nc;
+      bodies += nb;
+    }
+  });
+  for (std::int32_t bi : st.partition[pi]) rt.write(st.body_charge(bi), 32);
+  st.interactions[pi] = cells + bodies;
+  st.interactions_cell[pi] = cells;
+  st.interactions_body[pi] = bodies;
 }
 
 // ---------------------------------------------------------------------------

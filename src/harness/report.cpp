@@ -79,6 +79,12 @@ std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r) {
                 fmt_speedup(r.speedup).c_str(), fmt_percent(r.treebuild_fraction).c_str(),
                 fmt_wait(r.lock_wait).c_str(), fmt_wait(r.barrier_wait).c_str());
   std::string line = buf;
+  const double icell = r.metrics.sum("forces.interactions", {{"kind", "cell"}});
+  const double ibody = r.metrics.sum("forces.interactions", {{"kind", "body"}});
+  if (icell + ibody > 0.0) {
+    std::snprintf(buf, sizeof(buf), " interactions[cell=%.0f body=%.0f]", icell, ibody);
+    line += buf;
+  }
   if (r.race.enabled) {
     std::snprintf(buf, sizeof(buf), " races=%llu",
                   static_cast<unsigned long long>(r.race.races));

@@ -13,6 +13,7 @@
 
 #include "bh/body.hpp"
 #include "bh/config.hpp"
+#include "bh/forcekernel.hpp"
 #include "bh/node.hpp"
 #include "bh/pool.hpp"
 #include "support/aligned.hpp"
@@ -106,8 +107,17 @@ struct AppState {
   TreeStorage storage;
 
   /// Number of interactions each processor performed in the last force phase
-  /// (diagnostics / load-balance reporting).
+  /// (diagnostics / load-balance reporting), plus the cell/body kind split
+  /// (surfaced as forces.interactions{kind=...} metrics).
   std::vector<std::uint64_t> interactions;
+  std::vector<std::uint64_t> interactions_cell;
+  std::vector<std::uint64_t> interactions_body;
+
+  /// Per-processor gather scratch for the batched force kernel. Host-side
+  /// working memory, NOT a registered shared region: the simulated cost of
+  /// an interaction is charged where its source operand lives (the tree
+  /// node / the other body), exactly as in the scalar walk.
+  std::vector<bh::InteractionList> force_ilist;
 
   /// Shadow-arena slots per processor (chunk size).
   std::int32_t arena_chunk() const {
@@ -139,6 +149,9 @@ struct AppState {
     tree.init(np, cfg.n);
     storage.per_proc.resize(static_cast<std::size_t>(np));
     interactions.assign(static_cast<std::size_t>(np), 0);
+    interactions_cell.assign(static_cast<std::size_t>(np), 0);
+    interactions_body.assign(static_cast<std::size_t>(np), 0);
+    force_ilist.assign(static_cast<std::size_t>(np), {});
     if (cfg.lock_buckets > 0)
       lock_table.assign(static_cast<std::size_t>(cfg.lock_buckets), 0);
   }

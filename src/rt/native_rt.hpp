@@ -34,11 +34,23 @@ class NativeProc {
   int nprocs() const;
 
   void compute(double /*units*/) {}
+  void compute_n(double /*units*/, std::uint64_t /*count*/) {}
   void read(const void* /*p*/, std::size_t /*n*/) {}
   void write(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared_span(const void* /*p*/, std::size_t /*n*/, std::size_t /*stride*/,
                         std::size_t /*count*/) {}
+  /// Unordered sections are a simulator contract; real threads already
+  /// overlap freely, so the body just runs inline.
+  template <class F>
+  void unordered(F&& f) {
+    f();
+  }
+
+  /// Tracer access for phase code that emits its own sub-spans; timestamps
+  /// are wall nanoseconds since run() started (the context's trace domain).
+  trace::Tracer* tracer() const;
+  std::uint64_t trace_now() const;
 
   /// Combined charge + load/store of a shared atomic that lock-free readers
   /// race on. On real threads this is a plain acquire/release access.
@@ -160,6 +172,12 @@ class NativeContext {
 };
 
 inline int NativeProc::nprocs() const { return ctx_->nprocs_; }
+
+inline trace::Tracer* NativeProc::tracer() const { return ctx_->tracer_; }
+
+inline std::uint64_t NativeProc::trace_now() const {
+  return ctx_->trace_ns(NativeContext::Clock::now());
+}
 
 inline void NativeProc::lock(const void* addr) {
   auto& st = ctx_->stats_[static_cast<std::size_t>(self_)];

@@ -32,11 +32,20 @@ class OmpProc {
   int nprocs() const;
 
   void compute(double /*units*/) {}
+  void compute_n(double /*units*/, std::uint64_t /*count*/) {}
   void read(const void* /*p*/, std::size_t /*n*/) {}
   void write(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared_span(const void* /*p*/, std::size_t /*n*/, std::size_t /*stride*/,
                         std::size_t /*count*/) {}
+  template <class F>
+  void unordered(F&& f) {
+    f();
+  }
+
+  /// Tracer access for phase code emitting its own sub-spans (wall clock).
+  trace::Tracer* tracer() const;
+  std::uint64_t trace_now() const;
 
   template <class T>
   T ordered_load(const std::atomic<T>& a, const void* /*charge_addr*/, std::size_t /*n*/) {
@@ -145,6 +154,12 @@ class OmpContext {
 };
 
 inline int OmpProc::nprocs() const { return ctx_->nprocs_; }
+
+inline trace::Tracer* OmpProc::tracer() const { return ctx_->tracer_; }
+
+inline std::uint64_t OmpProc::trace_now() const {
+  return ctx_->trace_ns(OmpContext::Clock::now());
+}
 
 inline void OmpProc::lock(const void* addr) {
   auto& st = ctx_->stats_[static_cast<std::size_t>(self_)];

@@ -28,11 +28,20 @@ class SeqProc {
   int nprocs() const { return 1; }
 
   void compute(double /*units*/) {}
+  void compute_n(double /*units*/, std::uint64_t /*count*/) {}
   void read(const void* /*p*/, std::size_t /*n*/) {}
   void write(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared(const void* /*p*/, std::size_t /*n*/) {}
   void read_shared_span(const void* /*p*/, std::size_t /*n*/, std::size_t /*stride*/,
                         std::size_t /*count*/) {}
+  template <class F>
+  void unordered(F&& f) {
+    f();
+  }
+
+  /// Tracer access for phase code emitting its own sub-spans (wall clock).
+  trace::Tracer* tracer() const;
+  std::uint64_t trace_now() const;
 
   /// Combined charge + load/store of a shared atomic that lock-free readers
   /// race on. Outside the simulator this is a plain acquire/release access.
@@ -119,6 +128,14 @@ class SeqContext {
   trace::Tracer* tracer_ = nullptr;
   int lock_depth_ = 0;
 };
+
+inline trace::Tracer* SeqProc::tracer() const { return ctx_->tracer_; }
+
+inline std::uint64_t SeqProc::trace_now() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        SeqContext::Clock::now() - ctx_->epoch_)
+                                        .count());
+}
 
 inline void SeqProc::lock(const void* /*addr*/) {
   ++ctx_->stats_[0].lock_acquires[static_cast<int>(ctx_->phase_)];

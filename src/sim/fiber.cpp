@@ -28,6 +28,7 @@
 #endif
 
 #ifdef PTB_ASAN
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 
@@ -142,6 +143,13 @@ void Fiber::start(Entry entry, void* arg, std::size_t stack_bytes) {
 #endif
   stack_ = mem;
   stack_lo_ = static_cast<char*>(mem) + ps;
+#ifdef PTB_ASAN
+  // The allocator may hand back an address range a dead fiber's stack (or any
+  // poisoned allocation) previously occupied, and ASan shadow is not cleared
+  // by munmap/free. Stale redzones on a fresh stack break the runtime's own
+  // stack walks (e.g. __asan_handle_no_return at fiber boot), so scrub them.
+  __asan_unpoison_memory_region(stack_lo_, stack_bytes_);
+#endif
 
 #ifdef PTB_FIBER_ASM_X86_64
   // Craft the initial frame ptb_fiber_swap will unspill (see the asm above):
@@ -206,6 +214,10 @@ void Fiber::switch_to(Fiber& from, Fiber& to) {
 
 void Fiber::destroy() {
   if (stack_ != nullptr) {
+#ifdef PTB_ASAN
+    // Leave no shadow poison behind for the next occupant of this range.
+    __asan_unpoison_memory_region(stack_lo_, stack_bytes_);
+#endif
 #ifdef PTB_FIBER_MMAP
     munmap(stack_, stack_total_);
 #else

@@ -30,14 +30,30 @@ SimBackend default_sim_backend() {
 }
 
 const char* to_string(SimBackend b) {
-  return b == SimBackend::kFibers ? "fibers" : "threads";
+  if (b == SimBackend::kFibers) return "fibers";
+  return b == SimBackend::kThreads ? "threads" : "parallel";
 }
 
 SimBackend sim_backend_from_string(const std::string& s) {
   if (s == "fibers") return SimBackend::kFibers;
   if (s == "threads") return SimBackend::kThreads;
-  PTB_CHECK_MSG(false, "unknown simulator backend (want \"fibers\" or \"threads\")");
+  if (s == "parallel") return SimBackend::kParallel;
+  PTB_CHECK_MSG(false,
+                "unknown simulator backend (want \"fibers\", \"threads\" or \"parallel\")");
   return SimBackend::kFibers;
+}
+
+int default_sim_workers() {
+  static const int w = [] {
+    const char* env = std::getenv("PTB_SIM_WORKERS");
+    if (env != nullptr && env[0] != '\0') {
+      const int v = std::atoi(env);
+      if (v >= 1) return std::min(v, 64);
+    }
+    const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+    return std::clamp(hw / 2, 1, 16);
+  }();
+  return w;
 }
 
 bool default_race_detection() { return race::default_race_enabled(); }
@@ -64,7 +80,8 @@ SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend,
   const auto np = static_cast<std::size_t>(nprocs);
   clock_.assign(np, 0);
   status_.assign(np, Status::kDone);
-  pending_.assign(np, 0);
+  pending_.assign(np, PaddedCost{});
+  in_free_.assign(np, 0);
   phase_.assign(np, Phase::kOther);
   phase_mark_.assign(np, 0);
   stats_.assign(np, ProcStats{});
@@ -107,7 +124,8 @@ void SimContext::reset_run_state() {
   const auto np = static_cast<std::size_t>(nprocs_);
   clock_.assign(np, 0);
   status_.assign(np, Status::kActive);
-  pending_.assign(np, 0);
+  pending_.assign(np, PaddedCost{});
+  in_free_.assign(np, 0);
   phase_.assign(np, Phase::kOther);
   phase_mark_.assign(np, 0);
   lock_granted_.assign(np, 0);
@@ -138,8 +156,10 @@ void SimContext::run_impl(const std::function<void(SimProc&)>& f) {
   reset_run_state();
   if (backend_ == SimBackend::kFibers)
     run_fibers(f);
-  else
+  else if (backend_ == SimBackend::kThreads)
     run_threads(f);
+  else
+    run_parallel(f);
 }
 
 void SimContext::finish_proc(int p) {
@@ -201,8 +221,17 @@ void SimContext::fiber_body(int p) {
 
 void SimContext::fiber_reschedule() {
   const int me = running_;
-  const int next = heap_.top();
-  PTB_CHECK(next != me);
+  int next = heap_.top();
+  // Parallel backend: an empty Active set with sections in flight just means
+  // everyone runnable is out on the pool — wait for a completion to refill
+  // the heap rather than declaring deadlock.
+  while (next < 0 && free_running_ > 0) {
+    drain_sections(/*block=*/true);
+    next = heap_.top();
+  }
+  // Our own just-launched section may have been drained back in above; then
+  // it is simply our turn again and the fiber continues past the launch.
+  if (next == me) return;
   Fiber& from = me == kHostContext ? host_ctx_ : *fibers_[static_cast<std::size_t>(me)];
   if (next < 0) {
     // Nobody is runnable. At end of run every processor is Done and control
@@ -240,10 +269,100 @@ void SimContext::run_fibers(const std::function<void(SimProc&)>& f) {
   body_ = nullptr;
 }
 
+// --- parallel backend ---
+
+void SimContext::section_worker() {
+  std::unique_lock<std::mutex> lk(pool_m_);
+  for (;;) {
+    pool_cv_.wait(lk, [this] { return pool_shutdown_ || !section_queue_.empty(); });
+    if (section_queue_.empty()) return;  // shutdown with a drained queue
+    const int p = section_queue_.front();
+    section_queue_.erase(section_queue_.begin());
+    lk.unlock();
+    const auto idx = static_cast<std::size_t>(p);
+    section_fn_[idx]();           // the unordered stretch
+    section_fn_[idx] = nullptr;   // drop captures before reporting done
+    in_free_[idx] = 0;
+    lk.lock();
+    section_done_.push_back(p);
+    done_cv_.notify_one();
+  }
+}
+
+void SimContext::drain_sections(bool block) {
+  std::vector<int> done;
+  {
+    std::unique_lock<std::mutex> lk(pool_m_);
+    if (block) done_cv_.wait(lk, [this] { return !section_done_.empty(); });
+    done.swap(section_done_);
+  }
+  // Re-admission order is irrelevant for the schedule (the heap orders by
+  // (clock, id)); sort by id anyway so the walk is deterministic.
+  std::sort(done.begin(), done.end());
+  for (int p : done) {
+    flush_pending(p);  // fold the section's cost into the clock key
+    --free_running_;
+    set_active(p);
+  }
+}
+
+void SimContext::op_unordered_run(int p, std::function<void()> fn) {
+  const auto idx = static_cast<std::size_t>(p);
+  if (backend_ != SimBackend::kParallel || !overlap_ok_) {
+    // Fibers/threads (and observed kParallel runs, which must reproduce the
+    // serial host order for the tracer/profiler/race detector): run inline.
+    // The flag arms the ordered-op-inside-section contract check.
+    in_free_[idx] = 1;
+    fn();
+    in_free_[idx] = 0;
+    return;
+  }
+  // Glued launch: we are on the scheduler thread, immediately after this
+  // processor's last ordered operation — nothing can interleave between that
+  // operation and the section start, exactly as in the fiber backend.
+  flush_pending(p);
+  section_fn_[idx] = std::move(fn);
+  in_free_[idx] = 1;
+  leave_active(p, Status::kInSection);
+  ++free_running_;
+  {
+    std::lock_guard<std::mutex> g(pool_m_);
+    section_queue_.push_back(p);
+  }
+  pool_cv_.notify_one();
+  // Hand the scheduler to the next runnable processor; drain_sections
+  // re-admits us once the closure has run, and the fiber resumes here.
+  fiber_reschedule();
+}
+
+void SimContext::run_parallel(const std::function<void(SimProc&)>& f) {
+  // One scheduler thread (this one) + a closure pool. Observed runs get no
+  // pool: sections run inline, reproducing the fiber host order exactly.
+  overlap_ok_ = tracer_ == nullptr && prof_ == nullptr && race_model_ == nullptr;
+  free_running_ = 0;
+  section_fn_.assign(static_cast<std::size_t>(nprocs_), nullptr);
+  pool_width_ = overlap_ok_ ? std::clamp(workers_, 1, nprocs_) : 0;
+  pool_shutdown_ = false;
+  section_queue_.clear();
+  section_done_.clear();
+  pool_.reserve(static_cast<std::size_t>(pool_width_));
+  for (int w = 0; w < pool_width_; ++w)
+    pool_.emplace_back([this] { section_worker(); });
+  run_fibers(f);
+  PTB_CHECK(free_running_ == 0);
+  {
+    std::lock_guard<std::mutex> g(pool_m_);
+    pool_shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& t : pool_) t.join();
+  pool_.clear();
+}
+
 // --- scheduling core ---
 
 void SimContext::yield_turn(OpLock& l, int p) {
-  if (backend_ == SimBackend::kFibers) {
+  if (backend_ != SimBackend::kThreads) {
     fiber_reschedule();
     return;
   }
@@ -270,10 +389,19 @@ void SimContext::pass_token(int me) {
   }
 }
 
-void SimContext::wait_for_turn(OpLock& l, int p) {
+void SimContext::wait_for_turn(OpLock& l, int p, bool allow_sections) {
   // p is Active (in the heap), so the heap is never empty here; yield to the
-  // minimum until the minimum is us.
-  while (heap_.top() != p) yield_turn(l, p);
+  // minimum until the minimum is us AND (unless the operation is
+  // section-tolerant) no unordered section is in flight. free_running_ is
+  // nonzero only in the parallel backend.
+  for (;;) {
+    if (heap_.top() == p) {
+      if (free_running_ == 0 || allow_sections) return;
+      drain_sections(/*block=*/true);  // our turn, blocked only on sections
+      continue;
+    }
+    yield_turn(l, p);
+  }
 }
 
 void SimContext::wait_lock_grant(OpLock& l, int p) {
@@ -287,9 +415,11 @@ void SimContext::wait_barrier_release(OpLock& l, int p, std::uint64_t gen) {
 
 void SimContext::flush_pending(int p) {
   const auto idx = static_cast<std::size_t>(p);
-  if (pending_[idx] != 0) {
-    clock_[idx] += pending_[idx];
-    pending_[idx] = 0;
+  PTB_CHECK_MSG(in_free_[idx] == 0,
+                "ordered operation inside an unordered_begin/end section");
+  if (pending_[idx].v != 0) {
+    clock_[idx] += pending_[idx].v;
+    pending_[idx].v = 0;
     if (heap_.contains(p)) heap_.update(p, clock_[idx]);
   }
 }
@@ -445,8 +575,11 @@ void SimContext::op_barrier(int p) {
   const std::uint64_t gen = barrier_generation_;
   if (!maybe_release_barrier()) wait_barrier_release(l, p, gen);
   // Departure protocol in deterministic order (all clocks equal, id breaks
-  // the tie).
-  wait_for_turn(l, p);
+  // the tie). Departures are section-tolerant in the parallel backend: the
+  // depart charge touches only the departing processor's own model state, and
+  // letting it run while earlier departers sit in their unordered sections is
+  // what lets those sections overlap at all.
+  wait_for_turn(l, p, /*allow_sections=*/true);
   charge_model(p,
                [&](MemModel& m, std::uint64_t now) { return m.on_barrier_depart(p, now); });
   if (prof_ != nullptr)

@@ -26,8 +26,22 @@
 //    shared tree state outside any simulated lock (races resolved in
 //    *virtual* time), and letting host threads overlap for real would let
 //    the OS scheduler pick which side of such a race each run observes.
+//  * kParallel: the fiber scheduler runs unchanged on one host thread — the
+//    ordered path pays not a single atomic more than kFibers — but an
+//    unordered section (rt.unordered(fn): a stretch the application declares
+//    to contain only read_shared/compute work on its own partition, e.g. one
+//    body's force gather + evaluate loop) is shipped as a closure to a small
+//    pool of host worker threads and genuinely overlaps other sections and
+//    the scheduler. The section is glued to the processor's preceding
+//    ordered operation: it is enqueued synchronously from the fiber, so
+//    nothing can interleave between that operation and the section start,
+//    exactly as in the fiber backend's run-to-wait-point order. While
+//    sections are in flight, ordered operations stall — except barrier
+//    departures, which touch no state a section reads and are what lets the
+//    next processor reach its own section. docs/MODEL.md ("The lookahead
+//    window") argues why this cannot change a single virtual time.
 //
-// Both backends implement the same virtual-time state machine with the same
+// All backends implement the same virtual-time state machine with the same
 // (clock, processor-id) tie-break and the same run-to-wait-point execution
 // order, so they produce bit-identical virtual times, lock counts and
 // per-phase statistics; the test suite asserts this
@@ -47,6 +61,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <thread>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,7 +89,7 @@ class Recorder;
 }  // namespace prof
 
 /// How SimContext::run executes the simulated processors.
-enum class SimBackend { kFibers, kThreads };
+enum class SimBackend { kFibers, kThreads, kParallel };
 
 /// Reads PTB_RACE from the environment (non-empty, non-"0" enables the
 /// data-race detector); the default for SimContext's `race_detect` argument,
@@ -82,14 +97,18 @@ enum class SimBackend { kFibers, kThreads };
 /// construction sites.
 bool default_race_detection();
 
-/// Reads PTB_SIM_BACKEND ("fibers" | "threads") from the environment;
-/// defaults to kFibers. Lets CI sweep the whole test suite across backends
-/// without touching every construction site.
+/// Reads PTB_SIM_BACKEND ("fibers" | "threads" | "parallel") from the
+/// environment; defaults to kFibers. Lets CI sweep the whole test suite
+/// across backends without touching every construction site.
 SimBackend default_sim_backend();
+
+/// Reads PTB_SIM_WORKERS (host threads for the kParallel backend); defaults
+/// to half the hardware threads, clamped to [1, 16].
+int default_sim_workers();
 
 const char* to_string(SimBackend b);
 
-/// Parses "fibers" / "threads" (aborts on anything else).
+/// Parses "fibers" / "threads" / "parallel" (aborts on anything else).
 SimBackend sim_backend_from_string(const std::string& s);
 
 class SimContext;
@@ -102,6 +121,11 @@ class SimProc {
   int nprocs() const;
 
   void compute(double units);
+  /// Charges `count` repetitions of compute(units) in one call: the cost of
+  /// a single call is computed (with its truncation) and multiplied, so the
+  /// pending-bucket total is bit-identical to the loop. The batched force
+  /// kernel uses this to charge a whole interaction list at once.
+  void compute_n(double units, std::uint64_t count);
   void read(const void* p, std::size_t n);
   void write(const void* p, std::size_t n);
   void read_shared(const void* p, std::size_t n);
@@ -133,6 +157,24 @@ class SimProc {
   void barrier();
   void begin_phase(Phase p);
 
+  /// Runs `fn` as an unordered section: a stretch that issues only
+  /// read_shared/read_shared_span/compute work, touches no state another
+  /// processor writes, and whose host side-effects are confined to this
+  /// processor's own slots. Under kFibers/kThreads it is an inline call
+  /// (plus the contract flag); under kParallel it is the unit of real host
+  /// overlap — the closure runs on a pool worker while the scheduler keeps
+  /// going (see the kParallel notes above). Ordered operations inside a
+  /// section abort the run.
+  void unordered(std::function<void()> fn);
+
+  /// The attached tracer (null when tracing is off) and the current virtual
+  /// time (clock + unfolded pending cost) — lets phase code emit its own
+  /// sub-spans at one null-check of cost when tracing is disabled. Uniform
+  /// across runtimes: NativeRT/OmpRT/SeqRT expose the same pair with wall
+  ///-clock timestamps.
+  trace::Tracer* tracer() const;
+  std::uint64_t trace_now() const;
+
  private:
   SimContext* ctx_;
   int self_;
@@ -151,6 +193,11 @@ class SimContext {
   SimBackend backend() const { return backend_; }
   const PlatformSpec& spec() const { return spec_; }
   MemModel& mem() { return *mem_; }
+
+  /// Host worker threads for the kParallel backend (ignored elsewhere).
+  /// Clamped to [1, nprocs] at run time. Call before run().
+  void set_workers(int w) { workers_ = w; }
+  int workers() const { return workers_; }
 
   /// The data-race detector's findings, or null when detection is off. With
   /// detection on, `mem()` is the RaceModel decorator wrapping the platform's
@@ -228,7 +275,13 @@ class SimContext {
  private:
   friend class SimProc;
 
-  enum class Status : std::uint8_t { kActive, kBlockedLock, kInBarrier, kDone };
+  enum class Status : std::uint8_t {
+    kActive,
+    kBlockedLock,
+    kInBarrier,
+    kInSection,  // kParallel: section in flight on a pool worker
+    kDone,
+  };
 
   struct LockState {
     bool held = false;
@@ -239,7 +292,9 @@ class SimContext {
   };
 
   /// Scoped ordering-section guard: takes the global mutex in the threads
-  /// backend, is free in the fiber backend (one host thread, no concurrency).
+  /// backend, is free in the fiber AND parallel backends — kParallel runs
+  /// the whole ordered path on the scheduler thread; pool workers touch only
+  /// their processor's own slots and the pool queues (pool_m_).
   struct OpLock {
     explicit OpLock(SimContext& c) {
       if (c.backend_ == SimBackend::kThreads) l = std::unique_lock<std::mutex>(c.m_);
@@ -250,6 +305,7 @@ class SimContext {
   void run_impl(const std::function<void(SimProc&)>& f);
   void run_threads(const std::function<void(SimProc&)>& f);
   void run_fibers(const std::function<void(SimProc&)>& f);
+  void run_parallel(const std::function<void(SimProc&)>& f);
   void reset_run_state();
   /// End-of-body bookkeeping shared by both backends: fold pending cost,
   /// close the phase attribution, retire the processor.
@@ -257,8 +313,12 @@ class SimContext {
 
   // --- scheduling core (requires the ordering section) ---
   /// Blocks processor p until it is the (clock, id) minimum of the Active
-  /// set, yielding to the heap top meanwhile.
-  void wait_for_turn(OpLock& l, int p);
+  /// set, yielding to the heap top meanwhile. Unless `allow_sections`, also
+  /// waits for every in-flight unordered section to fold (kParallel; the
+  /// count is always zero elsewhere). `allow_sections` is only legal for
+  /// operations whose model charge touches no state an unordered section
+  /// reads (the barrier departure).
+  void wait_for_turn(OpLock& l, int p, bool allow_sections = false);
   /// Waits until lock_granted_[p] is set by a releaser.
   void wait_lock_grant(OpLock& l, int p);
   /// Waits until the barrier generation moves past `gen`.
@@ -286,6 +346,20 @@ class SimContext {
   /// Switches from the currently running fiber to the heap top (or, with an
   /// empty heap at end of run, back to the host context).
   void fiber_reschedule();
+
+  // --- parallel backend (scheduler thread unless noted) ---
+  /// Launches `fn` as processor p's unordered section. kFibers/kThreads (or
+  /// kParallel with an observer attached): runs it inline. kParallel: folds
+  /// p's pending cost, removes p from the Active set, enqueues the closure
+  /// for the pool and reschedules; p's fiber resumes after drain_sections
+  /// has folded the section's cost and re-admitted p.
+  void op_unordered_run(int p, std::function<void()> fn);
+  /// Folds completed sections back into the schedule (clock fold +
+  /// re-admission, in processor-id order). With `block`, sleeps until at
+  /// least one section completes — the only place the scheduler ever waits.
+  void drain_sections(bool block);
+  /// Pool worker body: run queued sections until shutdown (pool_m_ only).
+  void section_worker();
 
   // Operation implementations (called by SimProc).
   /// Charges `cost` virtual ns of memory-system stall to p's current phase.
@@ -349,7 +423,7 @@ class SimContext {
     const std::uint64_t cost = call();
     const MemProcStats& after = mem_->proc_stats(p);
     if (tracer_ != nullptr)
-      trace_mem_events(*tracer_, p, snap, after, clock_[idx] + pending_[idx]);
+      trace_mem_events(*tracer_, p, snap, after, clock_[idx] + pending_[idx].v);
     if (prof_ != nullptr) prof_note_unordered(p, addr, cost, snap, after);
     return cost;
   }
@@ -408,9 +482,37 @@ class SimContext {
   int running_ = kHostContext;
   const std::function<void(SimProc&)>* body_ = nullptr;
 
+  // Parallel backend: a pool of host threads that runs unordered-section
+  // closures. The scheduler (fiber loop) never shares its state with the
+  // pool; the only cross-thread traffic is the two queues below.
+  int workers_ = default_sim_workers();
+  int pool_width_ = 0;     // workers actually spawned this run (0 = no pool)
+  int free_running_ = 0;   // sections currently in flight (scheduler-private)
+  /// True when unordered sections may genuinely overlap on the host. Off
+  /// when a tracer/profiler/race detector is attached: observers assume the
+  /// serial host schedule, so sections then run inline in the fiber (still
+  /// bit-identical, just not concurrent).
+  bool overlap_ok_ = false;
+  std::vector<std::uint8_t> in_free_;  // processor is inside a section
+  std::vector<std::function<void()>> section_fn_;  // per-proc section closure
+  std::vector<std::thread> pool_;
+  std::mutex pool_m_;                  // guards the two queues + shutdown flag
+  std::condition_variable pool_cv_;    // workers: "work or shutdown"
+  std::condition_variable done_cv_;    // scheduler: "a section completed"
+  std::vector<int> section_queue_;
+  std::vector<int> section_done_;
+  bool pool_shutdown_ = false;
+
+  /// One cache line per processor: pending_ is hammered by every unordered
+  /// charge, and in the parallel backend different processors write their
+  /// slots from different host threads at once.
+  struct alignas(64) PaddedCost {
+    std::uint64_t v = 0;
+  };
+
   std::vector<std::uint64_t> clock_;
   std::vector<Status> status_;
-  std::vector<std::uint64_t> pending_;  // written only by the owning processor
+  std::vector<PaddedCost> pending_;  // written only by the owning processor
   std::vector<std::uint8_t> lock_granted_;
   std::unordered_map<const void*, LockState> locks_;
 
@@ -432,15 +534,29 @@ inline int SimProc::nprocs() const { return ctx_->nprocs_; }
 // chain the compiler can see end to end (docs/PERF.md).
 
 inline void SimProc::compute(double units) {
-  ctx_->pending_[static_cast<std::size_t>(self_)] +=
+  ctx_->pending_[static_cast<std::size_t>(self_)].v +=
       static_cast<std::uint64_t>(units * ctx_->spec_.ns_per_work);
+}
+
+inline void SimProc::compute_n(double units, std::uint64_t count) {
+  // One call's truncated cost, multiplied: bit-identical to `count`
+  // compute(units) calls (pending adds commute and truncate per call).
+  ctx_->pending_[static_cast<std::size_t>(self_)].v +=
+      count * static_cast<std::uint64_t>(units * ctx_->spec_.ns_per_work);
+}
+
+inline trace::Tracer* SimProc::tracer() const { return ctx_->tracer_; }
+
+inline std::uint64_t SimProc::trace_now() const {
+  const auto idx = static_cast<std::size_t>(self_);
+  return ctx_->clock_[idx] + ctx_->pending_[idx].v;
 }
 
 inline void SimProc::read_shared(const void* p, std::size_t n) {
   SimContext& ctx = *ctx_;
   const std::uint64_t cost = ctx.observed_unordered_call(
       self_, p, [&] { return ctx.mem_fast_.on_read_shared(self_, p, n); });
-  ctx.pending_[static_cast<std::size_t>(self_)] += cost;
+  ctx.pending_[static_cast<std::size_t>(self_)].v += cost;
   ctx.note_mem_stall(self_, cost);
 }
 
@@ -466,8 +582,12 @@ inline void SimProc::read_shared_span(const void* p, std::size_t n, std::size_t 
   const std::uint64_t cost = ctx.observed_unordered_call(self_, p, [&] {
     return ctx.mem_fast_.on_read_shared_span(self_, p, n, stride, count);
   });
-  ctx.pending_[static_cast<std::size_t>(self_)] += cost;
+  ctx.pending_[static_cast<std::size_t>(self_)].v += cost;
   ctx.note_mem_stall(self_, cost);
+}
+
+inline void SimProc::unordered(std::function<void()> fn) {
+  ctx_->op_unordered_run(self_, std::move(fn));
 }
 
 template <class T>

@@ -111,6 +111,35 @@ TEST(Experiment, MemStatsPopulated) {
   EXPECT_GT(d.mem.invalidations_sent, 0u);
 }
 
+TEST(Experiment, ForceInteractionMetricsLabeled) {
+  // forces.interactions{kind=cell|body,proc=p}: every processor gets both
+  // kind cells, their per-kind sums match the headline interaction total
+  // (st.interactions = cells + bodies per proc), and summarize() surfaces
+  // the split.
+  ExperimentRunner runner;
+  const ExperimentSpec s = spec("origin2000", Algorithm::kSpace, 2000, 8);
+  const auto r = runner.run(s);
+  double cells = 0.0;
+  double bodies = 0.0;
+  for (int p = 0; p < s.nprocs; ++p) {
+    trace::Labels lc = trace::proc_label(p);
+    lc.emplace_back("kind", "cell");
+    trace::Labels lb = trace::proc_label(p);
+    lb.emplace_back("kind", "body");
+    const double c = r.metrics.value("forces.interactions", lc);
+    const double b = r.metrics.value("forces.interactions", lb);
+    EXPECT_GT(c, 0.0) << "proc " << p;
+    EXPECT_GT(b, 0.0) << "proc " << p;
+    cells += c;
+    bodies += b;
+  }
+  EXPECT_EQ(cells, r.metrics.sum("forces.interactions", {{"kind", "cell"}}));
+  EXPECT_EQ(bodies, r.metrics.sum("forces.interactions", {{"kind", "body"}}));
+  EXPECT_GT(bodies, 0.0);
+  const std::string line = summarize(s, r);
+  EXPECT_NE(line.find("interactions[cell="), std::string::npos);
+}
+
 TEST(Report, FormattersProduceReadableCells) {
   EXPECT_EQ(fmt_speedup(12.345), "12.35");
   EXPECT_EQ(fmt_percent(0.5), "50.0%");

@@ -69,6 +69,8 @@ void restore_snapshot(AppState& st, const StateSnapshot& snap) {
     st.tree.body_leaf[static_cast<std::size_t>(i)].store(nullptr, std::memory_order_relaxed);
   std::fill(st.tree.reduce.begin(), st.tree.reduce.end(), ReduceSlot{});
   std::fill(st.interactions.begin(), st.interactions.end(), 0);
+  std::fill(st.interactions_cell.begin(), st.interactions_cell.end(), 0);
+  std::fill(st.interactions_body.begin(), st.interactions_body.end(), 0);
   st.storage.global.reset();
   for (auto& pool : st.storage.per_proc) pool.reset();
 }

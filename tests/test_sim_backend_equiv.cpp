@@ -1,9 +1,11 @@
-// The fiber and thread scheduler backends implement the same virtual-time
-// state machine and must be indistinguishable in every reported number:
-// bit-identical virtual clocks, per-phase times, lock-acquire counts and
-// wait-time statistics for every algorithm on every platform. This is the
-// contract that lets the fast fiber backend replace the thread backend
-// everywhere while the thread backend stays on as a cross-check.
+// The fiber, thread and parallel scheduler backends implement the same
+// virtual-time state machine and must be indistinguishable in every reported
+// number: bit-identical virtual clocks, per-phase times, lock-acquire counts
+// and wait-time statistics for every algorithm on every platform. This is
+// the contract that lets the fast fiber backend replace the thread backend
+// everywhere (and the parallel backend overlap unordered sections on real
+// host threads, docs/MODEL.md "The lookahead window") while the thread
+// backend stays on as a cross-check.
 //
 // The simulator's virtual times are a function of the actual addresses of
 // the registered regions (block-grid alignment, lock hashing — see
@@ -20,6 +22,8 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "prof/profile.hpp"
+#include "race/race.hpp"
 #include "sim/sim_rt.hpp"
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
@@ -33,6 +37,7 @@ namespace {
 struct BackendRun {
   RunResult run;
   std::vector<std::uint64_t> clocks;
+  std::uint64_t races = 0;
 };
 
 /// The pre-run values of everything a timestep mutates. Restoring copies
@@ -59,13 +64,24 @@ void restore_snapshot(AppState& st, const StateSnapshot& snap) {
     st.tree.body_leaf[static_cast<std::size_t>(i)].store(nullptr, std::memory_order_relaxed);
   std::fill(st.tree.reduce.begin(), st.tree.reduce.end(), ReduceSlot{});
   std::fill(st.interactions.begin(), st.interactions.end(), 0);
+  std::fill(st.interactions_cell.begin(), st.interactions_cell.end(), 0);
+  std::fill(st.interactions_body.begin(), st.interactions_body.end(), 0);
   st.storage.global.reset();
   for (auto& pool : st.storage.per_proc) pool.reset();
 }
 
+struct RunOpts {
+  bool race = false;
+  bool prof = false;
+  /// Host workers for kParallel's section pool (0 = backend default). Set
+  /// to >1 in the matrix tests so real cross-thread overlap is exercised.
+  int workers = 4;
+};
+
 template <class Builder>
 std::vector<BackendRun> run_backends(const std::string& platform, int n, int nprocs,
-                                     const std::vector<SimBackend>& backends) {
+                                     const std::vector<SimBackend>& backends,
+                                     const RunOpts& opts = {}) {
   BHConfig bh;
   bh.n = n;
   AppState st = make_app_state(bh, nprocs);
@@ -75,28 +91,34 @@ std::vector<BackendRun> run_backends(const std::string& platform, int n, int npr
   std::vector<BackendRun> out;
   for (SimBackend backend : backends) {
     restore_snapshot(st, snap);
-    SimContext ctx(PlatformSpec::by_name(platform), nprocs, backend);
+    SimContext ctx(PlatformSpec::by_name(platform), nprocs, backend,
+                   /*race_detect=*/opts.race);
+    if (opts.workers > 0) ctx.set_workers(opts.workers);
+    prof::Recorder rec;
+    if (opts.prof) ctx.set_profiler(&rec);
     BackendRun r;
     r.run = run_simulation(ctx, st, builder, rc);
     for (int p = 0; p < nprocs; ++p) r.clocks.push_back(ctx.clock_ns(p));
+    if (const race::RaceReport* rr = ctx.race_report()) r.races = rr->races;
     out.push_back(std::move(r));
   }
   return out;
 }
 
 std::vector<BackendRun> run_algorithm(Algorithm alg, const std::string& platform, int n,
-                                      int nprocs, const std::vector<SimBackend>& backends) {
+                                      int nprocs, const std::vector<SimBackend>& backends,
+                                      const RunOpts& opts = {}) {
   switch (alg) {
     case Algorithm::kOrig:
-      return run_backends<OrigBuilder>(platform, n, nprocs, backends);
+      return run_backends<OrigBuilder>(platform, n, nprocs, backends, opts);
     case Algorithm::kLocal:
-      return run_backends<LocalBuilder>(platform, n, nprocs, backends);
+      return run_backends<LocalBuilder>(platform, n, nprocs, backends, opts);
     case Algorithm::kUpdate:
-      return run_backends<UpdateBuilder>(platform, n, nprocs, backends);
+      return run_backends<UpdateBuilder>(platform, n, nprocs, backends, opts);
     case Algorithm::kPartree:
-      return run_backends<PartreeBuilder>(platform, n, nprocs, backends);
+      return run_backends<PartreeBuilder>(platform, n, nprocs, backends, opts);
     case Algorithm::kSpace:
-      return run_backends<SpaceBuilder>(platform, n, nprocs, backends);
+      return run_backends<SpaceBuilder>(platform, n, nprocs, backends, opts);
   }
   PTB_CHECK_MSG(false, "unhandled algorithm");
   return {};
@@ -145,6 +167,42 @@ TEST(BackendEquiv, FiberBackendReproducesItself) {
   expect_identical(runs[0], runs[1]);
 }
 
+TEST(BackendEquiv, ParallelBackendReproducesItself) {
+  const auto runs = run_algorithm(Algorithm::kSpace, "challenge", kBodies, kProcs,
+                                  {SimBackend::kParallel, SimBackend::kParallel});
+  expect_identical(runs[0], runs[1]);
+}
+
+// A single host worker still goes through the launch/drain machinery; it
+// must agree both with the multi-worker pool and with the fiber backend.
+TEST(BackendEquiv, ParallelSingleWorkerBitIdentical) {
+  RunOpts opts;
+  opts.workers = 1;
+  const auto runs = run_algorithm(Algorithm::kSpace, "origin2000", kBodies, kProcs,
+                                  {SimBackend::kFibers, SimBackend::kParallel}, opts);
+  expect_identical(runs[0], runs[1]);
+}
+
+// Observer decorators force the sections inline (overlap off) under
+// kParallel; the whole run — including the race findings — must still match
+// the fiber backend exactly.
+TEST(BackendEquiv, ParallelUnderRaceDetectorMatchesFibers) {
+  RunOpts opts;
+  opts.race = true;
+  const auto runs = run_algorithm(Algorithm::kSpace, "challenge", kBodies, kProcs,
+                                  {SimBackend::kFibers, SimBackend::kParallel}, opts);
+  expect_identical(runs[0], runs[1]);
+  EXPECT_EQ(runs[0].races, runs[1].races);
+}
+
+TEST(BackendEquiv, ParallelUnderProfilerMatchesFibers) {
+  RunOpts opts;
+  opts.prof = true;
+  const auto runs = run_algorithm(Algorithm::kPartree, "typhoon0_hlrc", kBodies, kProcs,
+                                  {SimBackend::kFibers, SimBackend::kParallel}, opts);
+  expect_identical(runs[0], runs[1]);
+}
+
 struct EquivCase {
   Algorithm alg;
   const char* platform;
@@ -152,11 +210,13 @@ struct EquivCase {
 
 class BackendEquivP : public ::testing::TestWithParam<EquivCase> {};
 
-TEST_P(BackendEquivP, FiberAndThreadBackendsBitIdentical) {
+TEST_P(BackendEquivP, FiberThreadAndParallelBackendsBitIdentical) {
   const EquivCase c = GetParam();
-  const auto runs = run_algorithm(c.alg, c.platform, kBodies, kProcs,
-                                  {SimBackend::kFibers, SimBackend::kThreads});
+  const auto runs =
+      run_algorithm(c.alg, c.platform, kBodies, kProcs,
+                    {SimBackend::kFibers, SimBackend::kThreads, SimBackend::kParallel});
   expect_identical(runs[0], runs[1]);
+  expect_identical(runs[0], runs[2]);
 }
 
 std::vector<EquivCase> all_cases() {

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_force_micro JSON against a checked-in baseline.
+
+Usage: check_force_regression.py BASELINE.json NEW.json [--tolerance FRAC]
+
+Micro rows are matched on (bench, list_len, path) and the
+interactions_per_sec throughput of each matched pair is compared; the check
+fails if the batched kernel regresses by more than --tolerance (fractional,
+default 0.30 — generous because shared CI runners are noisy; the tracked
+number is the checked-in BENCH_force.json regenerated on a quiet machine).
+
+The force_e2e_summary row is the headline: it times the full challenge/SPACE
+experiment as {walk,kernel} x {fibers,parallel} and reports the kernel,
+parallel-backend and combined host-time speedups. The check fails if the new
+combined speedup falls below (baseline) * (1 - tolerance) or if the run
+reports virtual_results_identical != "yes" — bit-identical virtual results
+are the license for both fast paths (see docs/PERF.md and docs/MODEL.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (
+        row.get("bench"),
+        row.get("list_len"),
+        row.get("path"),
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="maximum allowed fractional drop (default 0.30)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base_rows = json.load(f)
+    with open(args.new) as f:
+        new_rows = json.load(f)
+
+    baseline = {row_key(r): r for r in base_rows if r.get("bench") == "force_micro"}
+    base_e2e = next(
+        (r for r in base_rows if r.get("bench") == "force_e2e_summary"), None)
+
+    failed = False
+    compared = 0
+    for row in new_rows:
+        if row.get("bench") == "force_e2e_summary":
+            if row.get("virtual_results_identical") != "yes":
+                print("FAIL: fast paths and their oracles diverged")
+                return 1
+            cur = row["speedup_combined"]
+            status = "ok"
+            if base_e2e is not None:
+                old = base_e2e["speedup_combined"]
+                if cur < old * (1.0 - args.tolerance):
+                    status = "REGRESSION"
+                    failed = True
+                print(f"     e2e: {old:12.2f} -> {cur:12.2f} x combined speedup "
+                      f"(kernel {row['speedup_kernel']:.2f}x, "
+                      f"parallel {row['speedup_parallel']:.2f}x) {status}")
+            else:
+                print(f"     e2e: {cur:12.2f}x combined speedup (no baseline row)")
+            compared += 1
+        if row.get("bench") != "force_micro":
+            continue
+        base = baseline.get(row_key(row))
+        if base is None:
+            print(f"skip (no baseline row): {row_key(row)}")
+            continue
+        compared += 1
+        old = base["interactions_per_sec"]
+        cur = row["interactions_per_sec"]
+        change = (cur - old) / old
+        status = "ok"
+        if row.get("path") == "batched" and change < -args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(f"{row['list_len']:>10}/{row['path']:<8}: "
+              f"{old:14.0f} -> {cur:14.0f} interactions/s ({change:+.1%}) {status}")
+
+    if compared == 0:
+        print("FAIL: no comparable force rows found")
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
