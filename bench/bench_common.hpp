@@ -131,6 +131,9 @@ struct BenchOptions {
   /// Run every cell under the data-race detector (--race / PTB_RACE). Virtual
   /// times are unchanged; race counts land in each ExperimentResult.
   bool race = false;
+  /// Run every cell under the sharing observer (--sight / PTB_SIGHT). Virtual
+  /// times are unchanged; the report lands in each ExperimentResult.
+  bool sight = false;
   SimBackend backend = default_sim_backend();
   /// Host worker threads for the parallel backend (0 = default).
   int workers = 0;
@@ -165,6 +168,8 @@ inline BenchOptions parse_options(int argc, char** argv, const std::string& defa
       cli.get_int("workers", 0, "host workers for --backend=parallel (0 = auto)"));
   opt.race = cli.get_bool("race", false,
                           "run under the data-race detector (or set PTB_RACE)");
+  opt.sight = cli.get_bool("sight", false,
+                           "run under the sharing observer (or set PTB_SIGHT)");
   const std::string json_path =
       cli.get_string("json", "", "also write results to this JSON file");
   opt.json.set_path(json_path);
@@ -203,6 +208,7 @@ inline ExperimentSpec make_spec(const std::string& platform, Algorithm alg, int 
   s.backend = opt.backend;
   s.sim_workers = opt.workers;
   s.race = opt.race;
+  s.sight = opt.sight;
   return s;
 }
 

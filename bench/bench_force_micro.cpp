@@ -13,7 +13,7 @@
 // virtual time and memory counter is bit-identical across all four, and
 // reporting the kernel, parallel-backend and combined host-time speedups.
 // The combined number is the tracked headline in BENCH_force.json
-// (tools/check_force_regression.py).
+// (tools/check_regression.py force).
 #include <algorithm>
 #include <cmath>
 #include <cstdint>

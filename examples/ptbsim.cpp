@@ -65,6 +65,24 @@ int main(int argc, char** argv) {
       "trace", "", "write a Chrome trace-event JSON here (or set PTB_TRACE)"));
   const std::string prof_path = prof::prof_path_from(cli.get_string(
       "prof", "", "profile the run and write prof JSON here (or set PTB_PROF)"));
+  const std::string sight_path = sight::sight_path_from(cli.get_string(
+      "sight", "",
+      "observe sharing patterns / false sharing / working sets and write the "
+      "sight JSON here (or set PTB_SIGHT)"));
+  cli.epilogue(
+      "Environment variables (each pairs with a flag; the flag wins):\n"
+      "  PTB_TRACE=<path>        --trace          Chrome trace-event JSON output\n"
+      "  PTB_RACE=1              --race           data-race detector\n"
+      "  PTB_PROF=<path>         --prof           critical-path / what-if profile JSON\n"
+      "  PTB_SIGHT=<path>        --sight          sharing / false-sharing / working-set JSON\n"
+      "  PTB_SIGHT_WINDOW_NS=<n> (no flag)        false-sharing invalidation window override\n"
+      "  PTB_MEM_SLOWPATH=1      (no flag)        force the memory model's virtual-dispatch path\n"
+      "  PTB_FORCE_SLOWPATH=1    (no flag)        force the scalar force-interaction path\n"
+      "  PTB_SIM_BACKEND=<name>  --backend        scheduler backend (fibers|threads|parallel)\n"
+      "  PTB_SIM_WORKERS=<n>     --workers        host worker threads for --backend=parallel\n"
+      "\n"
+      "Exit codes: 0 = run completed (observers may have written reports);\n"
+      "            2 = data races found under --race/PTB_RACE, or bad flags.");
   cli.finish();
 
   // Open output files up front so a bad path fails before the simulation
@@ -80,6 +98,7 @@ int main(int argc, char** argv) {
   };
   std::FILE* trace_out = trace_path.empty() ? nullptr : open_output(trace_path, "trace");
   std::FILE* prof_out = prof_path.empty() ? nullptr : open_output(prof_path, "prof");
+  std::FILE* sight_out = sight_path.empty() ? nullptr : open_output(sight_path, "sight");
 
   std::unique_ptr<trace::Tracer> tracer;
   if (trace_out != nullptr) {
@@ -87,6 +106,7 @@ int main(int argc, char** argv) {
     spec.tracer = tracer.get();
   }
   spec.prof = prof_out != nullptr;
+  spec.sight = sight_out != nullptr;
 
   if (csv_header) {
     std::printf("platform,algorithm,n,procs,seq_s,par_s,speedup,treebuild_s,"
@@ -116,6 +136,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote profile (%llu sync events) to %s\n",
                  static_cast<unsigned long long>(r.profile.events),
                  prof_path.c_str());
+  }
+  if (sight_out != nullptr) {
+    sight::write_sight_json(r.sight, sight_out);
+    std::fclose(sight_out);
+    std::fprintf(stderr, "wrote sight report (%llu lines observed) to %s\n",
+                 static_cast<unsigned long long>(r.sight.lines_observed),
+                 sight_path.c_str());
   }
 
   if (csv) {
@@ -172,5 +199,6 @@ int main(int argc, char** argv) {
   sync.print();
 
   print_profile(r.profile);
+  print_sight(r.sight);
   return exit_code;
 }

@@ -125,8 +125,23 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
 
   AppState st = make_app_state(effective_bh(spec), spec.nprocs);
   SimContext ctx(platform, spec.nprocs, spec.backend,
-                 spec.race || default_race_detection());
+                 spec.race || default_race_detection(),
+                 spec.sight || sight::default_sight_enabled());
   if (spec.sim_workers > 0) ctx.set_workers(spec.sim_workers);
+  if (sight::SightModel* sm = ctx.sight_model()) {
+    // Opt the element-structured regions into false-sharing detection; the
+    // remaining regions (counts, index buffers, globals) have no object
+    // identity finer than the region itself and are never flagged.
+    sm->set_object_granule("bodies", sizeof(Body));
+    sm->set_object_granule("reduce", sizeof(ReduceSlot));
+    for (const char* pool : {"seq.cells", "orig.cells", "local.cells",
+                             "partree.cells", "space.cells", "update.cells"})
+      sm->set_object_granule(pool, sizeof(Node));
+    // ALOCK bucket words are scheduler objects the protocol never charges;
+    // register them observer-only so contended lock lines still classify.
+    if (!st.lock_table.empty())
+      sm->add_observed_region(st.lock_table.data(), st.lock_table.size(), "locks");
+  }
   if (spec.tracer != nullptr) {
     spec.tracer->set_clock_domain("virtual");
     ctx.set_tracer(spec.tracer);
@@ -224,22 +239,32 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
                    static_cast<unsigned long long>(dropped_total));
   }
 
-  if (profiling) {
+  if (profiling || ctx.sight_model() != nullptr) {
     // Resolve tree-cell addresses from the builders' allocation bookkeeping.
     // The lists describe the final step's tree; pools refill deterministically
     // each step, so addresses keep their role across the measured steps.
-    prof::CellResolver cells;
+    CellResolver cells;
     for (const auto& lst : st.tree.created) {
       for (const Node* nd : lst)
         cells.add(nd, sizeof(Node), nd->level, nd->octant);
     }
     cells.finalize();
-    prof::ProfileOptions popts;
-    if (platform.remote_miss_ns > platform.local_miss_ns)
-      popts.remote_extra_ns =
-          static_cast<std::uint64_t>(std::llround(platform.remote_miss_ns - platform.local_miss_ns));
-    out.profile = prof::build_profile(recorder.capture(), cells, popts);
-    prof::ingest_profile_metrics(out.metrics, out.profile);
+    if (profiling) {
+      prof::ProfileOptions popts;
+      if (platform.remote_miss_ns > platform.local_miss_ns)
+        popts.remote_extra_ns = static_cast<std::uint64_t>(
+            std::llround(platform.remote_miss_ns - platform.local_miss_ns));
+      out.profile = prof::build_profile(recorder.capture(), cells, popts);
+      prof::ingest_profile_metrics(out.metrics, out.profile);
+    }
+    if (sight::SightModel* sm = ctx.sight_model()) {
+      out.sight = sm->build_report(cells);
+      out.sight.platform = spec.platform;
+      out.sight.algorithm = algorithm_name(spec.algorithm);
+      out.sight.nbodies = effective_bh(spec).n;
+      out.sight.nprocs = spec.nprocs;
+      sight::ingest_sight_metrics(out.metrics, out.sight);
+    }
   }
   return out;
 }

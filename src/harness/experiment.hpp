@@ -11,6 +11,7 @@
 #include "mem/model.hpp"
 #include "prof/profile.hpp"
 #include "race/race.hpp"
+#include "sight/sight.hpp"
 #include "sim/sim_rt.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -42,6 +43,11 @@ struct ExperimentSpec {
   /// profiling (--prof / PTB_PROF). Virtual times are unchanged;
   /// ExperimentResult::profile carries the analyses.
   bool prof = false;
+  /// Observe every shared access for sharing-pattern classification,
+  /// false-sharing detection and working-set attribution (--sight /
+  /// PTB_SIGHT). Virtual times are unchanged; ExperimentResult::sight
+  /// carries the report.
+  bool sight = false;
   BHConfig bh;  // n is overwritten from `n`
 };
 
@@ -80,6 +86,9 @@ struct ExperimentResult {
   /// Critical-path / contention / what-if profile (enabled == false unless
   /// the run was under --prof / PTB_PROF).
   prof::Profile profile;
+  /// Sharing-pattern / false-sharing / working-set report (enabled == false
+  /// unless the run was under --sight / PTB_SIGHT).
+  sight::SightReport sight;
   // Full per-phase breakdown.
   RunResult run;
   /// Every scalar above is derived from this registry (the single source of

@@ -1,6 +1,9 @@
 #include "harness/report.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
+#include <map>
 
 #include "support/table.hpp"
 
@@ -90,6 +93,13 @@ std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r) {
                   static_cast<unsigned long long>(r.race.races));
     line += buf;
   }
+  if (r.sight.enabled) {
+    std::snprintf(buf, sizeof(buf), " sight[lines=%llu false-sharing=%zu/%llu]",
+                  static_cast<unsigned long long>(r.sight.lines_observed),
+                  r.sight.false_sharing.size(),
+                  static_cast<unsigned long long>(r.sight.false_sharing_hits));
+    line += buf;
+  }
   return line;
 }
 
@@ -160,6 +170,102 @@ void print_profile(const prof::Profile& p) {
       wi.add_row({prof::scenario_name(w.scenario), fmt_seconds(w.predicted_ns * 1e-9),
                   fmt_speedup(w.speedup)});
     wi.print();
+  }
+}
+
+void print_sight(const sight::SightReport& r) {
+  if (!r.enabled) return;
+  using ClassRow = std::array<std::uint64_t, sight::kNumClasses>;
+  // Shared-class columns (kUntouched never appears in report rows).
+  static constexpr sight::LineClass kCols[] = {
+      sight::LineClass::kPrivate,        sight::LineClass::kReadShared,
+      sight::LineClass::kProducerConsumer, sight::LineClass::kMigratory,
+      sight::LineClass::kPingPong,
+  };
+  const auto class_cells = [&](const ClassRow& row, std::vector<std::string>& out) {
+    std::uint64_t total = 0;
+    for (sight::LineClass c : kCols) {
+      const std::uint64_t v = row[static_cast<std::size_t>(c)];
+      total += v;
+      out.push_back(v > 0 ? std::to_string(v) : "-");
+    }
+    out.push_back(std::to_string(total));
+  };
+
+  // Whole-run classification per (scope, depth): the per-depth sharing
+  // heatmap — tree-cell lines keyed by depth, everything else by region.
+  std::map<std::pair<std::string, int>, ClassRow> scopes;
+  std::map<int, ClassRow> phases;
+  for (const sight::ClassCell& c : r.classes) {
+    if (c.phase == -1)
+      scopes[{c.scope, c.depth}][static_cast<std::size_t>(c.cls)] += c.lines;
+    else
+      phases[c.phase][static_cast<std::size_t>(c.cls)] += c.lines;
+  }
+
+  Table byscope("sharing classification by data structure (whole run, 64B lines)");
+  byscope.set_header({"scope", "depth", "private", "read-shared", "prod-cons",
+                      "migratory", "ping-pong", "lines"});
+  for (const auto& [key, row] : scopes) {
+    std::vector<std::string> cells{key.first,
+                                   key.second >= 0 ? std::to_string(key.second) : "-"};
+    class_cells(row, cells);
+    byscope.add_row(cells);
+  }
+  byscope.print();
+
+  Table byphase("sharing classification by phase (lines touched in phase)");
+  byphase.set_header({"phase", "private", "read-shared", "prod-cons", "migratory",
+                      "ping-pong", "lines"});
+  for (const auto& [ph, row] : phases) {
+    std::vector<std::string> cells{phase_name(static_cast<Phase>(ph))};
+    class_cells(row, cells);
+    byphase.add_row(cells);
+  }
+  byphase.print();
+
+  if (!r.false_sharing.empty()) {
+    Table fs("false sharing: distinct objects written by distinct procs within " +
+             std::to_string(r.window_ns) + "ns");
+    fs.set_header({"region", "line", "cell", "objects", "procs", "hits"});
+    const std::size_t shown = std::min<std::size_t>(r.false_sharing.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const sight::Finding& f = r.false_sharing[i];
+      fs.add_row({f.region, std::to_string(f.line), f.cell.empty() ? "-" : f.cell,
+                  std::to_string(f.objects.size()), std::to_string(f.procs.size()),
+                  std::to_string(f.hits)});
+    }
+    fs.print();
+    if (shown < r.false_sharing.size())
+      std::printf("  ... and %zu more falsely-shared lines\n",
+                  r.false_sharing.size() - shown);
+  } else {
+    std::printf("no false sharing detected (window %lluns)\n",
+                static_cast<unsigned long long>(r.window_ns));
+  }
+
+  if (!r.working_set.empty()) {
+    // Aggregate per phase: the working set is a per-processor notion, so show
+    // the per-processor max alongside merged reuse-distance quantiles.
+    std::map<int, std::pair<std::uint64_t, std::uint64_t>> ws;  // max lines, cold
+    std::map<int, Distribution> reuse;
+    for (const sight::WorkingSetRow& w : r.working_set) {
+      auto& [mx, cold] = ws[w.phase];
+      mx = std::max(mx, w.distinct_lines);
+      cold += w.cold;
+      reuse[w.phase].merge(w.reuse);
+    }
+    Table t("working set by phase (64B lines; distinct = max over procs)");
+    t.set_header({"phase", "distinct lines", "cold", "reuse p50", "reuse p95", "samples"});
+    for (const auto& [ph, v] : ws) {
+      const Distribution& d = reuse[ph];
+      t.add_row({phase_name(static_cast<Phase>(ph)), std::to_string(v.first),
+                 std::to_string(v.second),
+                 d.count() > 0 ? Table::num(d.p50(), 0) : "-",
+                 d.count() > 0 ? Table::num(d.p95(), 0) : "-",
+                 std::to_string(d.count())});
+    }
+    t.print();
   }
 }
 

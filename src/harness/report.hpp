@@ -47,4 +47,9 @@ std::string summarize(const ExperimentSpec& spec, const ExperimentResult& r);
 /// stdout. No-op when the profile is disabled.
 void print_profile(const prof::Profile& p);
 
+/// Prints the sight tables (sharing classification by data structure and
+/// tree depth, per-phase class mix, false-sharing findings, per-phase
+/// working sets) to stdout. No-op when the report is disabled.
+void print_sight(const sight::SightReport& r);
+
 }  // namespace ptb

@@ -9,44 +9,7 @@
 
 namespace ptb::prof {
 
-void CellResolver::add(const void* base, std::size_t bytes, int depth, int octant) {
-  PTB_CHECK(!finalized_);
-  Cell c;
-  c.begin = reinterpret_cast<std::uintptr_t>(base);
-  c.end = c.begin + bytes;
-  c.depth = static_cast<std::int16_t>(depth);
-  c.octant = static_cast<std::int16_t>(octant);
-  cells_.push_back(c);
-}
-
-void CellResolver::finalize() {
-  std::sort(cells_.begin(), cells_.end(),
-            [](const Cell& a, const Cell& b) { return a.begin < b.begin; });
-  finalized_ = true;
-}
-
-const CellResolver::Cell* CellResolver::resolve(const void* addr) const {
-  PTB_CHECK(finalized_);
-  auto a = reinterpret_cast<std::uintptr_t>(addr);
-  auto it = std::upper_bound(cells_.begin(), cells_.end(), a,
-                             [](std::uintptr_t x, const Cell& c) { return x < c.begin; });
-  if (it == cells_.begin()) return nullptr;
-  --it;
-  return a < it->end ? &*it : nullptr;
-}
-
-namespace {
-
-std::string cell_name(const CellResolver::Cell* c) {
-  if (c == nullptr) return "other";
-  if (c->depth == 0) return "root";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "d%d.o%d", static_cast<int>(c->depth),
-                static_cast<int>(c->octant));
-  return buf;
-}
-
-}  // namespace
+using ptb::cell_name;
 
 Profile build_profile(const Capture& cap, const CellResolver& cells,
                       const ProfileOptions& opts) {

@@ -12,34 +12,13 @@
 #include "prof/critical_path.hpp"
 #include "prof/prof.hpp"
 #include "prof/whatif.hpp"
+#include "support/cell_resolver.hpp"
 
 namespace ptb::prof {
 
-/// Maps host addresses back to tree cells. The harness populates it from
-/// the builders' per-processor created-node bookkeeping after a run; the
-/// mapping reflects the final step's tree (node pools are reset and refilled
-/// deterministically each step, so earlier measured steps resolve to cells
-/// of the same role).
-class CellResolver {
- public:
-  struct Cell {
-    std::uintptr_t begin = 0;
-    std::uintptr_t end = 0;
-    std::int16_t depth = 0;
-    std::int16_t octant = 0;
-  };
-
-  void add(const void* base, std::size_t bytes, int depth, int octant);
-  void finalize();  // sort; call once after the last add()
-  /// nullptr when the address is not inside a known cell (lock-table
-  /// buckets, body arrays, counters).
-  const Cell* resolve(const void* addr) const;
-  bool empty() const { return cells_.empty(); }
-
- private:
-  std::vector<Cell> cells_;
-  bool finalized_ = false;
-};
+/// The address→cell mapping lives in support/ (shared with sight); the prof
+/// API keeps the old name.
+using ptb::CellResolver;
 
 /// One sync object's contention totals over the whole run, joined with its
 /// share of the critical path.

@@ -7,6 +7,7 @@
 
 #include "prof/prof.hpp"
 #include "race/race.hpp"
+#include "sight/sight.hpp"
 #include "support/check.hpp"
 #include "trace/trace.hpp"
 
@@ -59,13 +60,20 @@ int default_sim_workers() {
 bool default_race_detection() { return race::default_race_enabled(); }
 
 SimContext::SimContext(const PlatformSpec& spec, int nprocs, SimBackend backend,
-                       bool race_detect)
+                       bool race_detect, bool sight_observe)
     : spec_(spec), nprocs_(nprocs), backend_(backend), mem_(make_mem_model(spec, nprocs)) {
   PTB_CHECK(nprocs >= 1 && nprocs <= 64);
   if (race_detect) {
     auto rm = std::make_unique<race::RaceModel>(std::move(mem_));
     race_model_ = rm.get();
     mem_ = std::move(rm);
+  }
+  if (sight_observe) {
+    // Outermost, so it observes every access the dispatch layer sees
+    // (including what the race decorator forwards).
+    auto sm = std::make_unique<sight::SightModel>(std::move(mem_));
+    sight_model_ = sm.get();
+    mem_ = std::move(sm);
   }
   mem_slowpath_ = mem_slowpath_enabled();
   mem_fast_.bind(mem_.get(), /*force_virtual=*/mem_slowpath_);
@@ -101,6 +109,7 @@ const race::RaceReport* SimContext::race_report() const {
 void SimContext::set_tracer(trace::Tracer* t) {
   tracer_ = t;
   if (race_model_ != nullptr) race_model_->set_tracer(t);
+  if (sight_model_ != nullptr) sight_model_->set_tracer(t);
 }
 
 void SimContext::register_region(const void* base, std::size_t bytes, HomePolicy policy,
@@ -338,7 +347,8 @@ void SimContext::op_unordered_run(int p, std::function<void()> fn) {
 void SimContext::run_parallel(const std::function<void(SimProc&)>& f) {
   // One scheduler thread (this one) + a closure pool. Observed runs get no
   // pool: sections run inline, reproducing the fiber host order exactly.
-  overlap_ok_ = tracer_ == nullptr && prof_ == nullptr && race_model_ == nullptr;
+  overlap_ok_ = tracer_ == nullptr && prof_ == nullptr && race_model_ == nullptr &&
+                sight_model_ == nullptr;
   free_running_ = 0;
   section_fn_.assign(static_cast<std::size_t>(nprocs_), nullptr);
   pool_width_ = overlap_ok_ ? std::clamp(workers_, 1, nprocs_) : 0;

@@ -88,6 +88,11 @@ namespace prof {
 class Recorder;
 }  // namespace prof
 
+namespace sight {
+class SightModel;
+bool default_sight_enabled();
+}  // namespace sight
+
 /// How SimContext::run executes the simulated processors.
 enum class SimBackend { kFibers, kThreads, kParallel };
 
@@ -186,7 +191,8 @@ class SimContext {
 
   SimContext(const PlatformSpec& spec, int nprocs,
              SimBackend backend = default_sim_backend(),
-             bool race_detect = default_race_detection());
+             bool race_detect = default_race_detection(),
+             bool sight_observe = sight::default_sight_enabled());
   ~SimContext();
 
   int nprocs() const { return nprocs_; }
@@ -203,6 +209,11 @@ class SimContext {
   /// detection on, `mem()` is the RaceModel decorator wrapping the platform's
   /// protocol model (virtual times are unchanged either way).
   const race::RaceReport* race_report() const;
+
+  /// The sharing-pattern observer, or null when --sight is off. With it on,
+  /// `mem()` is the SightModel decorator wrapping RaceModel/protocol model
+  /// (outermost, so it observes every access; virtual times unchanged).
+  sight::SightModel* sight_model() { return sight_model_; }
 
   /// Registers a shared region with the protocol model. Call before run().
   void register_region(const void* base, std::size_t bytes, HomePolicy policy,
@@ -454,6 +465,9 @@ class SimContext {
   /// Non-null iff race detection is on: then mem_ IS this decorator (kept
   /// separately typed for report access and tracer forwarding).
   race::RaceModel* race_model_ = nullptr;
+  /// Non-null iff sight observation is on: then mem_ IS this decorator,
+  /// wrapped outside the race model when both are enabled.
+  sight::SightModel* sight_model_ = nullptr;
   /// Opt-in observability (null = disabled; the common case).
   trace::Tracer* tracer_ = nullptr;
   /// Opt-in dependency-graph capture for ptb::prof (null = disabled).

@@ -1,0 +1,39 @@
+// Maps host addresses back to tree cells. Shared between the prof and sight
+// observability layers (extracted from src/prof/ so neither depends on the
+// other). The harness populates it from the builders' per-processor
+// created-node bookkeeping after a run; the mapping reflects the final
+// step's tree (node pools are reset and refilled deterministically each
+// step, so earlier measured steps resolve to cells of the same role).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptb {
+
+class CellResolver {
+ public:
+  struct Cell {
+    std::uintptr_t begin = 0;
+    std::uintptr_t end = 0;
+    std::int16_t depth = 0;
+    std::int16_t octant = 0;
+  };
+
+  void add(const void* base, std::size_t bytes, int depth, int octant);
+  void finalize();  // sort; call once after the last add()
+  /// nullptr when the address is not inside a known cell (lock-table
+  /// buckets, body arrays, counters).
+  const Cell* resolve(const void* addr) const;
+  bool empty() const { return cells_.empty(); }
+
+ private:
+  std::vector<Cell> cells_;
+  bool finalized_ = false;
+};
+
+/// "other" for nullptr, "root" for depth 0, else "d<depth>.o<octant>".
+std::string cell_name(const CellResolver::Cell* c);
+
+}  // namespace ptb

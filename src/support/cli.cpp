@@ -64,6 +64,11 @@ std::vector<std::int64_t> Cli::get_int_list(const std::string& name, const std::
   return out;
 }
 
+void Cli::epilogue(std::string text) {
+  if (!epilogue_.empty()) epilogue_ += "\n";
+  epilogue_ += std::move(text);
+}
+
 void Cli::finish() {
   if (want_help_) {
     std::printf("Usage: %s [flags]\n", program_.c_str());
@@ -71,6 +76,7 @@ void Cli::finish() {
       std::printf("  --%-20s (default: %s) %s\n", h.name.c_str(), h.def.c_str(),
                   h.help.c_str());
     }
+    if (!epilogue_.empty()) std::printf("\n%s\n", epilogue_.c_str());
     std::exit(0);
   }
   for (const auto& [name, value] : args_) {

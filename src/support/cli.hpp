@@ -26,6 +26,11 @@ class Cli {
   std::vector<std::int64_t> get_int_list(const std::string& name, const std::string& def,
                                          const std::string& help);
 
+  /// Free-form text printed after the flag list on --help (environment
+  /// variables, exit-code contract, examples). May be called repeatedly;
+  /// blocks are printed in call order.
+  void epilogue(std::string text);
+
   /// Call after all get_* declarations. Prints usage and exits on --help;
   /// aborts on unknown flags.
   void finish();
@@ -43,6 +48,7 @@ class Cli {
   std::map<std::string, std::string> args_;   // raw --name -> value
   std::map<std::string, bool> consumed_;
   std::vector<HelpEntry> help_;
+  std::string epilogue_;
   bool want_help_ = false;
 };
 

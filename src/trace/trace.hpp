@@ -40,6 +40,7 @@ inline constexpr const char* kCatSync = "sync";
 inline constexpr const char* kCatMem = "mem";
 inline constexpr const char* kCatSched = "sched";
 inline constexpr const char* kCatRace = "race";
+inline constexpr const char* kCatSight = "sight";
 
 struct Event {
   std::uint64_t ts_ns = 0;   // span begin / instant time

@@ -123,6 +123,42 @@ TEST(RegionTable, BlockHomeWhenRegistrationOrderDiffersFromAddressOrder) {
   EXPECT_EQ(t.total_blocks(), 8u);
 }
 
+TEST(RegionTable, BlockHomeEdgeCasesOnASingleRegionTable) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 5];
+  t.add(buf, sizeof(buf), HomePolicy::kInterleavedBlock, 0, "buf", 3);
+  ASSERT_EQ(t.total_blocks(), 5u);
+  // First and last block of the only region.
+  EXPECT_EQ(t.block_home(0, 3), 0);
+  EXPECT_EQ(t.block_home(4, 3), 4 % 3);
+  // One past the end: not owned by any region — the documented fallback is
+  // home 0, never an out-of-bounds read.
+  EXPECT_EQ(t.block_home(5, 3), 0);
+  EXPECT_EQ(t.block_home(1000, 3), 0);
+}
+
+TEST(RegionTable, BlockHomeEdgeCasesAcrossRegionBoundaries) {
+  RegionTable t;
+  t.set_block_bytes(64);
+  alignas(64) static char buf[64 * 8];
+  // Registration order (which assigns global block indices) deliberately
+  // disagrees with address order.
+  t.add(buf + 64 * 4, 64 * 2, HomePolicy::kFixed, 2, "high", 4);  // blocks 0..1
+  t.add(buf, 64 * 3, HomePolicy::kFixed, 1, "low", 4);            // blocks 2..4
+  // First and last block of each region.
+  EXPECT_EQ(t.block_home(0, 4), 2);
+  EXPECT_EQ(t.block_home(1, 4), 2);
+  EXPECT_EQ(t.block_home(2, 4), 1);
+  EXPECT_EQ(t.block_home(4, 4), 1);
+  // One past the last minted block.
+  EXPECT_EQ(t.block_home(5, 4), 0);
+  // An empty table never dereferences anything.
+  RegionTable empty;
+  empty.set_block_bytes(64);
+  EXPECT_EQ(empty.block_home(0, 4), 0);
+}
+
 TEST(RegionTable, VirtualOffsetIsRegistrationRelative) {
   // The virtual offset must depend only on registration order and position
   // within the region — never on the regions' absolute addresses — so that

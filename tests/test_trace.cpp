@@ -132,6 +132,38 @@ TEST(Metrics, DistributionsMergeAcrossCells) {
   EXPECT_EQ(m.merged("sync.lock_wait_event_ns", trace::proc_label(0)).count(), 2u);
 }
 
+TEST(Metrics, CrossProcDistributionMergePreservesCountsAndQuantiles) {
+  // One distribution per (proc, phase) cell, as ingest_sight_metrics and the
+  // wait-event metrics produce them; merging across processors must preserve
+  // total counts, the exact max, and quantile ordering, and a phase filter
+  // must slice across all processors at once.
+  trace::MetricsRegistry m;
+  std::uint64_t expected = 0;
+  double max_sample = 0.0;
+  for (int p = 0; p < 4; ++p) {
+    Distribution build, forces;
+    for (int i = 1; i <= 50; ++i) build.add(static_cast<double>(i * (p + 1)));
+    for (int i = 1; i <= 10; ++i) forces.add(static_cast<double>(1000 * (p + 1) + i));
+    expected += build.count() + forces.count();
+    max_sample = std::max(max_sample, forces.stat().max());
+    m.record_all("sight.reuse_dist", trace::proc_phase_label(p, "treebuild"), build);
+    m.record_all("sight.reuse_dist", trace::proc_phase_label(p, "forces"), forces);
+  }
+  const Distribution all = m.merged("sight.reuse_dist");
+  EXPECT_EQ(all.count(), expected);
+  EXPECT_DOUBLE_EQ(all.stat().max(), max_sample);
+  EXPECT_LE(all.p50(), all.p95());
+  EXPECT_LE(all.p95(), all.p99());
+
+  const Distribution forces_only = m.merged("sight.reuse_dist", {{"phase", "forces"}});
+  EXPECT_EQ(forces_only.count(), 40u);
+  EXPECT_GE(forces_only.p50(), 1000.0);
+  const Distribution one_proc =
+      m.merged("sight.reuse_dist", trace::proc_phase_label(2, "treebuild"));
+  EXPECT_EQ(one_proc.count(), 50u);
+  EXPECT_DOUBLE_EQ(one_proc.stat().max(), 150.0);
+}
+
 TEST(Tracer, FlowEventsPairUpInChromeJson) {
   trace::Tracer t(2);
   t.flow(0, 1, trace::kCatSync, "lock-handoff", 100, 250);

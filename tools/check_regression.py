@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against a checked-in baseline.
+
+Usage: check_regression.py {sched,mem,force} BASELINE.json NEW.json [--tolerance FRAC]
+
+One driver for every perf-regression gate; the per-bench differences (which
+micro rows to match, which throughput metric to compare, which rows are
+gated vs. informational, the e2e headline row) live in the CONFIGS table.
+
+Micro rows are matched on the bench's key fields and the throughput of each
+matched pair is compared; the check fails if a gated row regresses by more
+than --tolerance (fractional, default 0.30 — generous because shared CI
+runners are noisy; the tracked numbers are the checked-in BENCH_*.json files
+regenerated on a quiet machine).
+
+Every bench also carries an identity row: bit-identical virtual results are
+the license for each fast path (see docs/PERF.md), so the check fails hard
+when virtual_results_identical != "yes". Benches with an e2e headline row
+(mem, force) additionally gate the end-to-end speedup against the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+CONFIGS = {
+    "sched": {
+        "micro_bench": "sched_micro",
+        "key_fields": ("backend", "procs", "ops_per_proc"),
+        "metric": "ordered_ops_per_sec",
+        "unit": "ordered ops/s",
+        # Every backend's ordered-op throughput is gated.
+        "gated": lambda row: True,
+        "label": lambda row: f"{row['backend']:>8}",
+        "identity_bench": "sched_micro_summary",
+        "identity_message": "scheduler backends diverged on virtual results",
+        "e2e": None,
+    },
+    "mem": {
+        "micro_bench": "mem_micro",
+        "key_fields": ("platform", "shape", "path"),
+        "metric": "charges_per_sec",
+        "unit": "charges/s",
+        # The slowpath oracle is informational; only the fast path is gated.
+        "gated": lambda row: row.get("path") == "fast",
+        "label": lambda row: (f"{row['platform']:>14}/{row['shape']:<6} "
+                              f"{row['path']:>8}"),
+        "identity_bench": "mem_e2e",
+        "identity_message": "fast path and PTB_MEM_SLOWPATH oracle diverged",
+        "e2e": {
+            "bench": "mem_e2e",
+            "speedup_field": "speedup",
+            "describe": lambda row: "fast-path speedup",
+        },
+    },
+    "force": {
+        "micro_bench": "force_micro",
+        "key_fields": ("list_len", "path"),
+        "metric": "interactions_per_sec",
+        "unit": "interactions/s",
+        # The scalar walk is the oracle; only the batched kernel is gated.
+        "gated": lambda row: row.get("path") == "batched",
+        "label": lambda row: f"{row['list_len']:>10}/{row['path']:<8}",
+        "identity_bench": "force_e2e_summary",
+        "identity_message": "fast paths and their oracles diverged",
+        "e2e": {
+            "bench": "force_e2e_summary",
+            "speedup_field": "speedup_combined",
+            "describe": lambda row: (f"combined speedup "
+                                     f"(kernel {row['speedup_kernel']:.2f}x, "
+                                     f"parallel {row['speedup_parallel']:.2f}x)"),
+        },
+    },
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench", choices=sorted(CONFIGS))
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="maximum allowed fractional drop (default 0.30)")
+    args = ap.parse_args()
+    cfg = CONFIGS[args.bench]
+
+    def row_key(row):
+        return tuple(row.get(f) for f in cfg["key_fields"])
+
+    with open(args.baseline) as f:
+        base_rows = json.load(f)
+    with open(args.new) as f:
+        new_rows = json.load(f)
+
+    baseline = {row_key(r): r for r in base_rows
+                if r.get("bench") == cfg["micro_bench"]}
+    base_e2e = None
+    if cfg["e2e"] is not None:
+        base_e2e = next(
+            (r for r in base_rows if r.get("bench") == cfg["e2e"]["bench"]), None)
+
+    failed = False
+    compared = 0
+    for row in new_rows:
+        if row.get("bench") == cfg["identity_bench"]:
+            if row.get("virtual_results_identical") != "yes":
+                print(f"FAIL: {cfg['identity_message']}")
+                return 1
+        if cfg["e2e"] is not None and row.get("bench") == cfg["e2e"]["bench"]:
+            cur = row[cfg["e2e"]["speedup_field"]]
+            what = cfg["e2e"]["describe"](row)
+            status = "ok"
+            if base_e2e is not None:
+                old = base_e2e[cfg["e2e"]["speedup_field"]]
+                if cur < old * (1.0 - args.tolerance):
+                    status = "REGRESSION"
+                    failed = True
+                print(f"     e2e: {old:12.2f} -> {cur:12.2f} x {what} {status}")
+            else:
+                print(f"     e2e: {cur:12.2f}x {what} (no baseline row)")
+            compared += 1
+        if row.get("bench") != cfg["micro_bench"]:
+            continue
+        base = baseline.get(row_key(row))
+        if base is None:
+            print(f"skip (no baseline row): {row_key(row)}")
+            continue
+        compared += 1
+        old = base[cfg["metric"]]
+        cur = row[cfg["metric"]]
+        change = (cur - old) / old
+        status = "ok"
+        if cfg["gated"](row) and change < -args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(f"{cfg['label'](row)}: {old:14.0f} -> {cur:14.0f} "
+              f"{cfg['unit']} ({change:+.1%}) {status}")
+
+    if compared == 0:
+        print(f"FAIL: no comparable {args.bench} rows found")
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
