@@ -56,6 +56,7 @@ Profile build_profile(const Capture& cap, const CellResolver& cells,
   }
 
   // Tree-build memory charges per 64-byte line, resolved to cells.
+  // ptblint: allow(unordered-iter) -- commutative += folds into depth-keyed sums; order never escapes
   for (const auto& [line, ls] : cap.lines) {
     if (ls.tb_stall_ns == 0 && ls.tb_remote == 0 && ls.tb_inval == 0) continue;
     const CellResolver::Cell* c =

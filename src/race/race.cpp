@@ -68,6 +68,7 @@ void RaceDetector::reset() {
   held_.assign(np, LocksetTable::kEmpty);
   syncs_.clear();
   reported_.clear();
+  lock_ids_.clear();
   for (auto& b : bgen_) {
     b.acc = VectorClock(nprocs_);
     b.departing = false;
@@ -111,7 +112,9 @@ void RaceDetector::on_lock_acquire(int proc, const void* lock) {
   const auto pi = static_cast<std::size_t>(proc);
   vc_[pi].join(sync_clock(lock));
   refresh_epoch(proc);
-  held_[pi] = locksets_.add(held_[pi], reinterpret_cast<std::uintptr_t>(lock));
+  const auto key = reinterpret_cast<std::uintptr_t>(lock);
+  lock_ids_.emplace(key, static_cast<int>(lock_ids_.size()));
+  held_[pi] = locksets_.add(held_[pi], key);
 }
 
 void RaceDetector::on_lock_release(int proc, const void* lock) {
@@ -197,8 +200,12 @@ std::string RaceDetector::lock_name(std::uintptr_t lock) const {
     os << region << "+" << off;
     return os.str();
   }
+  // Never print the host address: it varies across processes under ASLR and
+  // would make otherwise-identical race reports uncomparable. The intern id
+  // follows first-acquisition order, which is virtual-time deterministic.
   std::ostringstream os;
-  os << "lock@0x" << std::hex << lock;
+  const auto it = lock_ids_.find(lock);
+  os << "lock#" << (it != lock_ids_.end() ? it->second : -1);
   return os.str();
 }
 

@@ -258,6 +258,10 @@ class RaceDetector {
   LocksetTable locksets_;
   std::unordered_map<const void*, VectorClock> syncs_;  // locks + atomics
   std::unordered_set<std::size_t> reported_;            // deduped racy granules
+  // Stable report names for locks outside registered regions: interned in
+  // first-acquisition order, which is virtual-time deterministic, so reports
+  // never carry host addresses (they vary across processes under ASLR).
+  std::unordered_map<std::uintptr_t, int> lock_ids_;
 
   // Barrier happens-before: two alternating generation slots, because the
   // last departures of generation g can interleave (at equal virtual time,

@@ -129,6 +129,7 @@ class NativeContext {
 
  private:
   friend class NativeProc;
+  // ptblint: allow(wall-clock) -- native runtimes report real host time by contract; the DES virtual-time domain never reads it
   using Clock = std::chrono::steady_clock;
   static constexpr std::size_t kNumMutexes = 4096;
 

@@ -117,6 +117,7 @@ class OmpContext {
 
  private:
   friend class OmpProc;
+  // ptblint: allow(wall-clock) -- native runtimes report real host time by contract; the DES virtual-time domain never reads it
   using Clock = std::chrono::steady_clock;
   static constexpr std::size_t kNumMutexes = 4096;
 

@@ -104,6 +104,7 @@ class SeqContext {
 
  private:
   friend class SeqProc;
+  // ptblint: allow(wall-clock) -- native runtimes report real host time by contract; the DES virtual-time domain never reads it
   using Clock = std::chrono::steady_clock;
 
   void flush_phase() {

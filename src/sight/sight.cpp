@@ -75,6 +75,7 @@ std::uint32_t SightModel::ReuseTracker::fen_prefix(std::uint32_t pos) const {
 void SightModel::ReuseTracker::compact() {
   std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
   order.reserve(lines.size());
+  // ptblint: allow(unordered-iter) -- collected into (slot, line) pairs and sorted before use
   for (const auto& [line, li] : lines) order.emplace_back(li.slot, line);
   std::sort(order.begin(), order.end());
   const auto k = static_cast<std::uint32_t>(order.size());
@@ -446,6 +447,7 @@ SightReport SightModel::build_report(const CellResolver& cells) const {
     rep.classes.push_back(std::move(cell));
   }
 
+  // ptblint: allow(unordered-iter) -- findings are sorted below by the total key (hits, region, line)
   for (const auto& [block, acc] : findings_) {
     Finding f;
     const RegionSpan* s = span_of(spans, block);

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <memory>
 #include <new>
+#include <vector>
 
 namespace ptb {
 

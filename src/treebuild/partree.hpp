@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "mem/region_table.hpp"
 #include "treebuild/builder_common.hpp"
 
 namespace ptb {

@@ -1,0 +1,20 @@
+// Clean counterpart of addrstream_violation.cpp: report region+offset or a
+// deterministic intern id, never the host address.
+// ptblint-path: src/race/fixture_addrstream_clean.cpp
+// ptblint-expect: addr-stream 0 0
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ptb {
+
+void report_location(const std::string& region, std::size_t offset,
+                     std::ostringstream& os) {
+  os << region << "+" << offset;
+}
+
+void report_intern(int lock_id, std::ostringstream& os) {
+  os << "lock#" << lock_id;
+}
+
+}  // namespace ptb

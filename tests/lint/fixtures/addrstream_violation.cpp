@@ -1,0 +1,24 @@
+// Planted violations for addr-stream: formatting host addresses into
+// observable output (reports, JSON) breaks cross-process reproducibility —
+// this is the bug class the race reports' old "lock@0x..." fallback had.
+// ptblint-path: src/race/fixture_addrstream.cpp
+// ptblint-expect: addr-stream 3 0
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace ptb {
+
+void report_printf(const void* p) {
+  std::printf("racy object at %p\n", p);  // finding
+}
+
+void report_stream(const void* lock, std::ostringstream& os) {
+  os << "lock@0x" << std::hex << lock;  // finding: pointer streamed in hex
+}
+
+void report_cast(const void* p, std::ostringstream& os) {
+  os << reinterpret_cast<std::uintptr_t>(p);  // finding: integer-cast address
+}
+
+}  // namespace ptb

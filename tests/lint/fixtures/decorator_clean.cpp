@@ -1,0 +1,43 @@
+// Clean counterpart of decorator_violation.cpp: the decorator observes, then
+// returns the inner model's latency untouched on every hook (the RaceModel /
+// SightModel idiom).
+// ptblint-path: src/trace/fixture_decorator_clean.cpp
+// ptblint-expect: decorator-latency 0 0
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace ptb {
+
+// Minimal stand-in for src/mem/model.hpp so the fixture is a valid TU for
+// the Clang AST engine as well as the lexical one.
+class MemModel {
+ public:
+  virtual ~MemModel() = default;
+  virtual std::uint64_t on_read(int, const void*, std::size_t, std::uint64_t) = 0;
+  virtual std::uint64_t on_write(int, const void*, std::size_t, std::uint64_t) = 0;
+};
+
+class PureObserverModel final : public MemModel {
+ public:
+  // Direct forwarding.
+  std::uint64_t on_read(int proc, const void* p, std::size_t n, std::uint64_t now) {
+    note(proc);
+    return inner_->on_read(proc, p, n, now);
+  }
+
+  // Store-then-return passthrough is also fine.
+  std::uint64_t on_write(int proc, const void* p, std::size_t n, std::uint64_t now) {
+    const std::uint64_t lat = inner_->on_write(proc, p, n, now);
+    note(proc);
+    return lat;
+  }
+
+ private:
+  void note(int proc) { counts_[proc] += 1; }
+
+  std::unique_ptr<MemModel> inner_;
+  std::uint64_t counts_[64] = {};
+};
+
+}  // namespace ptb

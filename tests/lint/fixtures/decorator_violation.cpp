@@ -1,0 +1,55 @@
+// Planted violations for decorator-latency: a MemModel decorator outside
+// src/mem/ that perturbs, replaces, or drops the inner model's latency on
+// some hook. All four failure shapes are planted.
+// ptblint-path: src/trace/fixture_decorator.cpp
+// ptblint-expect: decorator-latency 4 0
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace ptb {
+
+// Minimal stand-in for src/mem/model.hpp so the fixture is a valid TU for
+// the Clang AST engine as well as the lexical one.
+class MemModel {
+ public:
+  virtual ~MemModel() = default;
+  virtual std::uint64_t on_read(int, const void*, std::size_t, std::uint64_t) = 0;
+  virtual std::uint64_t on_write(int, const void*, std::size_t, std::uint64_t) = 0;
+  virtual std::uint64_t on_rmw(int, const void*, std::uint64_t) = 0;
+  virtual std::uint64_t on_acquire(int, const void*, std::uint64_t) = 0;
+};
+
+class SkewModel final : public MemModel {
+ public:
+  // Shape 1: arithmetic on the forwarded value.
+  std::uint64_t on_read(int proc, const void* p, std::size_t n, std::uint64_t now) {
+    return inner_->on_read(proc, p, n, now) + 5;
+  }
+
+  // Shape 2: forwarded value stored, then modified before return.
+  std::uint64_t on_write(int proc, const void* p, std::size_t n, std::uint64_t now) {
+    std::uint64_t lat = inner_->on_write(proc, p, n, now);
+    lat /= 2;
+    return lat;
+  }
+
+  // Shape 3: forwarded value discarded, something else returned.
+  std::uint64_t on_rmw(int proc, const void* p, std::uint64_t now) {
+    inner_->on_rmw(proc, p, now);
+    return 100;
+  }
+
+  // Shape 4: hook never consults the inner model at all.
+  std::uint64_t on_acquire(int proc, const void* lock, std::uint64_t now) {
+    (void)proc;
+    (void)lock;
+    (void)now;
+    return 0;
+  }
+
+ private:
+  std::unique_ptr<MemModel> inner_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,26 @@
+// Clean counterpart of observer_violation.cpp: observers take const handles
+// and only read state the simulator already computed.
+// ptblint-path: src/prof/fixture_observer_clean.cpp
+// ptblint-expect: observer-mutation 0 0
+#include <cstdint>
+#include <vector>
+
+namespace ptb {
+
+class SimContext;
+
+namespace prof {
+
+struct GoodRecorder {
+  const SimContext* ctx = nullptr;  // const handle: read-only
+
+  std::vector<std::uint64_t> samples;
+
+  void on_lock_grant(int proc, std::uint64_t now_ns) {
+    // Observers may freely mutate their OWN state.
+    samples.push_back(now_ns + static_cast<std::uint64_t>(proc));
+  }
+};
+
+}  // namespace prof
+}  // namespace ptb

@@ -1,0 +1,27 @@
+// Planted violations for observer-mutation: observer layers (policy path
+// puts this in src/prof) must be pure readers of simulator state.
+// ptblint-path: src/prof/fixture_observer.cpp
+// ptblint-expect: observer-mutation 3 0
+#include <cstdint>
+
+namespace ptb {
+
+class SimContext;
+class SimProc;
+
+namespace prof {
+
+struct EvilRecorder {
+  SimContext* ctx = nullptr;  // finding: non-const SimContext handle
+
+  void on_lock_grant(SimProc& proc);  // finding: non-const SimProc handle
+
+  void scribble(const void* p, std::uint64_t v) {
+    // finding: const_cast to write through a hook argument into
+    // simulation-owned memory
+    *const_cast<std::uint64_t*>(static_cast<const std::uint64_t*>(p)) = v;
+  }
+};
+
+}  // namespace prof
+}  // namespace ptb

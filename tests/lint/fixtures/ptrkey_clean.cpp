@@ -1,0 +1,25 @@
+// Clean counterpart of ptrkey_violation.cpp: stable-id keys, or an explicit
+// deterministic comparator, make ordered iteration reproducible.
+// ptblint-path: src/treebuild/fixture_ptrkey_clean.cpp
+// ptblint-expect: ptr-key-order 0 0
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace ptb {
+
+struct Node {
+  std::uint32_t id;
+};
+
+struct ByNodeId {
+  bool operator()(const Node* a, const Node* b) const { return a->id < b->id; }
+};
+
+struct Owners {
+  std::map<std::uint32_t, int> owner_of;        // stable-id key
+  std::set<const Node*, ByNodeId> visited;      // explicit total order
+  std::map<Node*, int, ByNodeId> depth_of;      // explicit total order
+};
+
+}  // namespace ptb

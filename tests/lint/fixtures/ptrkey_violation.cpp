@@ -1,0 +1,19 @@
+// Planted violation for ptr-key-order: an ordered container keyed by a raw
+// pointer iterates in allocation-address order, which varies run to run.
+// ptblint-path: src/treebuild/fixture_ptrkey.cpp
+// ptblint-expect: ptr-key-order 2 0
+#include <map>
+#include <set>
+
+namespace ptb {
+
+struct Node {
+  int id;
+};
+
+struct Owners {
+  std::map<Node*, int> owner_of;       // finding: pointer key, default less<>
+  std::set<const Node*> visited;       // finding: pointer key, default less<>
+};
+
+}  // namespace ptb

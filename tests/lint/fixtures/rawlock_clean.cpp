@@ -1,0 +1,32 @@
+// Clean counterpart of rawlock_violation.cpp: the gate functions themselves
+// are the one sanctioned direct-lock site, and builder code calls them.
+// ptblint-path: src/treebuild/fixture_rawlock_clean.cpp
+// ptblint-expect: raw-lock 0 0
+
+namespace ptb {
+
+struct BHConfig {
+  bool elide_locks = false;
+};
+
+namespace detail {
+
+// The gate: the only functions allowed to touch rt.lock directly.
+template <class RT>
+void maybe_lock(RT& rt, const BHConfig& cfg, const void* lk) {
+  if (!cfg.elide_locks) rt.lock(lk);
+}
+template <class RT>
+void maybe_unlock(RT& rt, const BHConfig& cfg, const void* lk) {
+  if (!cfg.elide_locks) rt.unlock(lk);
+}
+
+}  // namespace detail
+
+template <class RT>
+void insert_shared(RT& rt, const BHConfig& cfg, const void* lk) {
+  detail::maybe_lock(rt, cfg, lk);
+  detail::maybe_unlock(rt, cfg, lk);
+}
+
+}  // namespace ptb

@@ -1,0 +1,20 @@
+// Planted violations for raw-lock: builder code acquiring a runtime lock
+// directly instead of through detail::maybe_lock, so --elide-locks fault
+// injection would silently miss this site.
+// ptblint-path: src/treebuild/fixture_rawlock.cpp
+// ptblint-expect: raw-lock 2 0
+
+namespace ptb {
+
+struct FakeRt {
+  void lock(const void*) {}
+  void unlock(const void*) {}
+};
+
+template <class RT>
+void insert_shared(RT& rt, const void* lk) {
+  rt.lock(lk);    // finding: bypasses detail::maybe_lock
+  rt.unlock(lk);  // finding: bypasses detail::maybe_unlock
+}
+
+}  // namespace ptb

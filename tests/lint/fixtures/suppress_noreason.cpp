@@ -1,0 +1,14 @@
+// Suppression mechanics: an allow() WITHOUT a reason string is itself a
+// finding, and it does not silence the violation it points at.
+// ptblint-path: src/sim/fixture_suppress_noreason.cpp
+// ptblint-expect: suppress-reason 1 0
+// ptblint-expect: wall-clock 1 0
+#include <chrono>
+#include <cstdint>
+
+namespace ptb {
+
+// ptblint: allow(wall-clock)
+using HostClock = std::chrono::steady_clock;
+
+}  // namespace ptb

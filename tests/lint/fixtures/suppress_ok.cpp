@@ -1,0 +1,18 @@
+// Suppression mechanics: a reasoned allow() silences the finding, and the
+// JSON output counts it as suppressed (asserted by the runner).
+// ptblint-path: src/sim/fixture_suppress_ok.cpp
+// ptblint-expect: wall-clock 0 2
+// ptblint-expect: suppress-reason 0 0
+#include <chrono>
+#include <cstdint>
+
+namespace ptb {
+
+std::uint64_t host_now_for_logging() {
+  return static_cast<std::uint64_t>(std::chrono::steady_clock::now().time_since_epoch().count());  // ptblint: allow(wall-clock) -- fixture: reasoned suppression on the offending line
+}
+
+// ptblint: allow(wall-clock) -- fixture: comment-line suppression applies to the next code line
+using HostClock = std::chrono::system_clock;
+
+}  // namespace ptb

@@ -1,0 +1,13 @@
+// Suppression mechanics: allow() naming a check that does not exist is a
+// finding (typo protection: a misspelled check id must not silently
+// suppress nothing).
+// ptblint-path: src/sim/fixture_suppress_unknown.cpp
+// ptblint-expect: suppress-unknown 1 0
+#include <cstdint>
+
+namespace ptb {
+
+// ptblint: allow(wallclock-read) -- misspelled check id
+std::uint64_t identity(std::uint64_t x) { return x; }
+
+}  // namespace ptb

@@ -1,0 +1,28 @@
+// Clean counterpart of unordered_iter_violation.cpp: point lookups into
+// unordered containers are fine, and ordered containers may be iterated.
+// ptblint-path: src/sim/fixture_unordered_clean.cpp
+// ptblint-expect: unordered-iter 0 0
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace ptb {
+
+struct WaitTable {
+  std::unordered_map<std::uint64_t, int> waiters;
+  std::map<std::uint64_t, int> by_time;
+
+  int lookup(std::uint64_t addr) const {
+    auto it = waiters.find(addr);  // point lookup: no iteration order
+    return it != waiters.end() ? it->second : 0;
+  }
+
+  std::vector<std::uint64_t> drain_ordered() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [t, n] : by_time) out.push_back(t);  // total order
+    return out;
+  }
+};
+
+}  // namespace ptb

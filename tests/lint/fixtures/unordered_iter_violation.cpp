@@ -1,0 +1,33 @@
+// Planted violations for unordered-iter: iteration over unordered containers
+// escapes hash-order into results.
+// ptblint-path: src/sim/fixture_unordered.cpp
+// ptblint-expect: unordered-iter 3 0
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ptb {
+
+struct WaitTable {
+  std::unordered_map<std::uint64_t, int> waiters;
+  std::unordered_set<const void*> seen;
+
+  std::vector<std::uint64_t> drain() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [addr, n] : waiters) out.push_back(addr);  // finding
+    return out;
+  }
+
+  const void* first() const {
+    return *seen.begin();  // finding: begin() order is hash-dependent
+  }
+};
+
+std::uint64_t inline_iteration() {
+  std::uint64_t acc = 1;
+  for (int v : std::unordered_set<int>{1, 2, 3}) acc = acc * 31 + static_cast<std::uint64_t>(v);  // finding
+  return acc;
+}
+
+}  // namespace ptb

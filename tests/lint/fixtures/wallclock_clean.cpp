@@ -1,0 +1,24 @@
+// Clean counterpart of wallclock_violation.cpp: deterministic code taking
+// time from the virtual clock and entropy from the seeded generator.
+// ptblint-path: src/sim/fixture_wallclock_clean.cpp
+// ptblint-expect: wall-clock 0 0
+#include <cstdint>
+
+namespace ptb {
+
+struct SimClockRef {
+  std::uint64_t now_ns;
+};
+
+std::uint64_t good_virtual_now(const SimClockRef& clk) { return clk.now_ns; }
+
+// Mentioning steady_clock in a comment (like this one) must not fire.
+std::uint64_t good_random(std::uint64_t seed) {
+  std::uint64_t z = (seed += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return z ^ (z >> 31);
+}
+
+const char* describe() { return "uses std::chrono::system_clock::now()"; }
+
+}  // namespace ptb

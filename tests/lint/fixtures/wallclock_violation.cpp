@@ -1,0 +1,29 @@
+// Planted violations for the wall-clock check: deterministic code (policy
+// path puts this in src/sim) reading host time/entropy. Never compiled —
+// linted only (see tests/lint/run_lint_tests.py).
+// ptblint-path: src/sim/fixture_wallclock.cpp
+// ptblint-expect: wall-clock 4 0
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace ptb {
+
+std::uint64_t bad_virtual_now() {
+  // One finding: the clock type and its ::now() are one source.
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t bad_seed() {
+  std::random_device rd;  // finding: host entropy
+  return rd();
+}
+
+int bad_jitter() {
+  std::srand(42);   // finding: hidden global PRNG state
+  return rand() %  // finding: draws from it
+         7;
+}
+
+}  // namespace ptb

@@ -1,0 +1,1176 @@
+// ptblint — Clang AST engine.
+//
+// Static enforcement of the simulator's determinism and observer-purity
+// invariants (see docs/LINT.md and the check catalogue in ptblint.py, which
+// is the portable reference engine). This binary implements the same checks
+// on the real AST instead of a lexical scan: types are resolved, so
+// `for (auto& kv : waiters)` is flagged because `waiters` *is* an
+// std::unordered_map, not because its name appeared near one.
+//
+// Both engines share:
+//   - the check ids and directory policy,
+//   - the suppression syntax  // ptblint: allow(<check>) -- <reason>
+//     (a reasonless allow suppresses nothing and is itself a finding),
+//   - the fixture policy override  // ptblint-path: <virtual path>,
+//   - the JSON schema (schema_version 1); "engine" distinguishes them.
+//
+// tests/lint/run_lint_tests.py runs the same fixture oracle against either
+// engine, so the two cannot drift silently.
+//
+// Build: -DPTB_BUILD_LINT=ON with the Clang CMake packages installed
+// (llvm-dev + libclang-dev on Debian/Ubuntu). Tested against LLVM/Clang 14;
+// only stable LibTooling API is used.
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/Diagnostic.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/ADT/StringRef.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/FormatVariadic.h"
+#include "llvm/Support/JSON.h"
+#include "llvm/Support/MemoryBuffer.h"
+#include "llvm/Support/Path.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace clang;
+using namespace clang::ast_matchers;
+using clang::tooling::ClangTool;
+using clang::tooling::FixedCompilationDatabase;
+
+namespace {
+
+// --- policy (keep in sync with ptblint.py) ---------------------------------
+
+const char *kDeterministicDirs[] = {"src/sim", "src/mem", "src/treebuild",
+                                    "src/bh", "src/rt"};
+const char *kObserverDirs[] = {"src/trace", "src/race", "src/prof",
+                               "src/sight"};
+const char *kBuilderDirs[] = {"src/treebuild"};
+const char *kMemDir = "src/mem";
+
+const std::pair<const char *, const char *> kChecks[] = {
+    {"addr-stream", "host address formatted into observable output"},
+    {"decorator-latency", "MemModel decorator perturbs the forwarded latency"},
+    {"observer-mutation", "observer layer mutates simulation state"},
+    {"ptr-key-order",
+     "pointer-keyed ordered container (address-order iteration)"},
+    {"raw-lock", "builder lock site bypasses detail::maybe_lock"},
+    {"suppress-reason", "suppression without a reason string"},
+    {"suppress-unknown", "suppression names an unknown check"},
+    {"unordered-iter", "iteration over an unordered container"},
+    {"wall-clock", "host time/entropy source in deterministic code"},
+};
+
+const char *kLatencyHooks[] = {
+    "on_read",          "on_write",       "on_rmw",
+    "on_acquire",       "on_release",     "on_barrier_arrive",
+    "on_barrier_depart", "on_atomic",     "on_read_shared",
+    "on_read_shared_span",
+};
+
+bool isKnownCheck(llvm::StringRef Name) {
+  for (const auto &C : kChecks)
+    if (Name == C.first)
+      return true;
+  return false;
+}
+
+bool isLatencyHook(llvm::StringRef Name) {
+  for (const char *H : kLatencyHooks)
+    if (Name == H)
+      return true;
+  return false;
+}
+
+bool pathInDirs(llvm::StringRef Path, llvm::ArrayRef<const char *> Dirs) {
+  for (const char *D : Dirs)
+    if (Path == D || Path.startswith((llvm::Twine(D) + "/").str()))
+      return true;
+  return false;
+}
+
+// --- findings & per-file lexical context -----------------------------------
+
+struct Finding {
+  std::string Check;
+  std::string File; // repo-relative real path (not the policy override)
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+  bool Suppressed = false;
+  std::string Reason;
+};
+
+struct Suppression {
+  std::vector<std::string> Checks;
+  std::string Reason; // empty == reasonless
+  unsigned Line = 0;   // line carrying the directive
+  unsigned Target = 0; // line the suppression applies to
+};
+
+struct FileCtx {
+  std::string RealPath;
+  std::string RelPath;
+  std::string PolicyPath; // RelPath unless a ptblint-path override is present
+  std::vector<Suppression> Sups;
+};
+
+// Comment/string stripper: mirrors strip_code() in ptblint.py. Only used to
+// decide whether a directive line carries real code (same-line suppression)
+// or is comment-only (applies to the next code line).
+std::string stripCode(llvm::StringRef Text) {
+  enum State { Normal, Line, Block, Str, Chr, Raw };
+  std::string Out(Text.begin(), Text.end());
+  State S = Normal;
+  std::string RawDelim;
+  size_t N = Text.size();
+  for (size_t I = 0; I < N; ++I) {
+    char C = Text[I];
+    char Nxt = I + 1 < N ? Text[I + 1] : '\0';
+    switch (S) {
+    case Normal:
+      if (C == '/' && Nxt == '/') {
+        S = Line;
+        Out[I] = Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '/' && Nxt == '*') {
+        S = Block;
+        Out[I] = Out[I + 1] = ' ';
+        ++I;
+      } else if (C == 'R' && Nxt == '"' &&
+                 (I == 0 || (!isalnum(Text[I - 1]) && Text[I - 1] != '_'))) {
+        size_t P = I + 2;
+        RawDelim.clear();
+        while (P < N && Text[P] != '(' && P - I - 2 < 16)
+          RawDelim += Text[P++];
+        if (P < N && Text[P] == '(') {
+          for (size_t J = I; J <= P; ++J)
+            Out[J] = ' ';
+          I = P;
+          S = Raw;
+        }
+      } else if (C == '"') {
+        S = Str;
+        Out[I] = ' ';
+      } else if (C == '\'') {
+        S = Chr;
+        Out[I] = ' ';
+      }
+      break;
+    case Line:
+      if (C == '\n')
+        S = Normal;
+      else
+        Out[I] = ' ';
+      break;
+    case Block:
+      if (C == '*' && Nxt == '/') {
+        Out[I] = Out[I + 1] = ' ';
+        ++I;
+        S = Normal;
+      } else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    case Str:
+      if (C == '\\' && Nxt != '\0') {
+        Out[I] = ' ';
+        if (Nxt != '\n')
+          Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '"')
+        S = Normal, Out[I] = ' ';
+      else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    case Chr:
+      if (C == '\\' && Nxt != '\0') {
+        Out[I] = ' ';
+        if (Nxt != '\n')
+          Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '\'')
+        S = Normal, Out[I] = ' ';
+      else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    case Raw: {
+      std::string End = ")" + RawDelim + "\"";
+      if (Text.substr(I).startswith(End)) {
+        for (size_t J = I; J < I + End.size(); ++J)
+          Out[J] = ' ';
+        I += End.size() - 1;
+        S = Normal;
+      } else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+void splitLines(llvm::StringRef Text, std::vector<llvm::StringRef> &Out) {
+  Text.split(Out, '\n', /*MaxSplit=*/-1, /*KeepEmpty=*/true);
+}
+
+// Parses // ptblint: allow(...) -- reason  and  // ptblint-path: <p>
+// directives out of the raw text. Mirrors parse_directives() in ptblint.py.
+void parseDirectives(llvm::StringRef Text, FileCtx &Ctx) {
+  std::string Code = stripCode(Text);
+  std::vector<llvm::StringRef> RawLines, CodeLines;
+  splitLines(Text, RawLines);
+  splitLines(Code, CodeLines);
+
+  for (size_t I = 0; I < RawLines.size(); ++I) {
+    llvm::StringRef L = RawLines[I];
+
+    size_t P = L.find("ptblint-path:");
+    if (P != llvm::StringRef::npos) {
+      llvm::StringRef Rest = L.substr(P + strlen("ptblint-path:")).ltrim();
+      size_t End = Rest.find_first_of(" \t\r");
+      Ctx.PolicyPath = Rest.substr(0, End).str();
+    }
+
+    size_t A = L.find("ptblint:");
+    if (A == llvm::StringRef::npos)
+      continue;
+    llvm::StringRef Rest = L.substr(A + strlen("ptblint:")).ltrim();
+    if (!Rest.startswith("allow("))
+      continue;
+    Rest = Rest.drop_front(strlen("allow("));
+    size_t Close = Rest.find(')');
+    if (Close == llvm::StringRef::npos)
+      continue;
+
+    Suppression Sup;
+    llvm::SmallVector<llvm::StringRef, 4> Names;
+    Rest.take_front(Close).split(Names, ',', -1, /*KeepEmpty=*/false);
+    for (llvm::StringRef Nm : Names)
+      if (!Nm.trim().empty())
+        Sup.Checks.push_back(Nm.trim().str());
+
+    llvm::StringRef Tail = Rest.drop_front(Close + 1).ltrim();
+    if (Tail.startswith("--")) {
+      llvm::StringRef R = Tail.drop_front(2).trim();
+      if (!R.empty())
+        Sup.Reason = R.str();
+    }
+
+    Sup.Line = static_cast<unsigned>(I + 1);
+    Sup.Target = Sup.Line;
+    if (I < CodeLines.size() && CodeLines[I].trim().empty()) {
+      // Comment-only line: the suppression applies to the next code line.
+      for (size_t J = I + 1; J < CodeLines.size(); ++J) {
+        if (!CodeLines[J].trim().empty()) {
+          Sup.Target = static_cast<unsigned>(J + 1);
+          break;
+        }
+      }
+    }
+    Ctx.Sups.push_back(std::move(Sup));
+  }
+}
+
+// --- the match callback -----------------------------------------------------
+
+class Checker : public MatchFinder::MatchCallback {
+public:
+  Checker(std::vector<Finding> &Findings) : Findings(Findings) {}
+
+  FileCtx *Ctx = nullptr; // the file currently being scanned
+
+  void run(const MatchFinder::MatchResult &R) override {
+    SM = R.SourceManager;
+    AC = R.Context;
+
+    if (const auto *TL = R.Nodes.getNodeAs<TypeLoc>("wc-type"))
+      wallClockType(R, *TL);
+    else if (const auto *CE = R.Nodes.getNodeAs<CallExpr>("wc-now"))
+      wallClockNow(R, CE);
+    else if (const auto *CE = R.Nodes.getNodeAs<CallExpr>("wc-call"))
+      wallClockCall(R, CE);
+    else if (const auto *TL = R.Nodes.getNodeAs<TypeLoc>("ptrkey"))
+      ptrKey(R, *TL);
+    else if (const auto *FR = R.Nodes.getNodeAs<CXXForRangeStmt>("uo-range"))
+      unorderedRange(FR);
+    else if (const auto *MC = R.Nodes.getNodeAs<CXXMemberCallExpr>("uo-begin"))
+      unorderedBegin(MC);
+    else if (const auto *CC = R.Nodes.getNodeAs<CXXConstCastExpr>("obs-cast"))
+      observerCast(CC);
+    else if (const auto *DD = R.Nodes.getNodeAs<DeclaratorDecl>("obs-decl"))
+      observerDecl(DD);
+    else if (const auto *MD = R.Nodes.getNodeAs<CXXMethodDecl>("deco"))
+      decorator(MD);
+    else if (const auto *DE =
+                 R.Nodes.getNodeAs<CXXDependentScopeMemberExpr>("lock-dep"))
+      rawLock(DE->getMemberLoc(), DE->getMember().getAsString());
+    else if (const auto *MC = R.Nodes.getNodeAs<CXXMemberCallExpr>("lock-mem"))
+      resolvedLock(MC);
+    else if (const auto *SL = R.Nodes.getNodeAs<StringLiteral>("addr-plit"))
+      addrLiteral(SL);
+    else if (const auto *OC =
+                 R.Nodes.getNodeAs<CXXOperatorCallExpr>("addr-stream"))
+      addrStream(R, OC);
+  }
+
+private:
+  std::vector<Finding> &Findings;
+  const SourceManager *SM = nullptr;
+  ASTContext *AC = nullptr;
+  // Instantiations and sugared/desugared TypeLocs revisit the same written
+  // source; one (check, line, detail) key per site keeps counts identical to
+  // the reference engine.
+  std::set<std::tuple<std::string, std::string, unsigned, std::string>> Seen;
+
+  bool mainFileLoc(SourceLocation Loc, unsigned &Line, unsigned &Col) {
+    if (Loc.isInvalid())
+      return false;
+    SourceLocation E = SM->getExpansionLoc(Loc);
+    if (!SM->isInMainFile(E))
+      return false;
+    Line = SM->getExpansionLineNumber(E);
+    Col = SM->getExpansionColumnNumber(E);
+    return true;
+  }
+
+  void report(llvm::StringRef Check, SourceLocation Loc, llvm::StringRef Msg,
+              llvm::StringRef DedupDetail = "") {
+    unsigned Line = 0, Col = 0;
+    if (!mainFileLoc(Loc, Line, Col))
+      return;
+    if (!Seen.insert({Check.str(), Ctx->RelPath, Line, DedupDetail.str()})
+             .second)
+      return;
+    Findings.push_back(
+        {Check.str(), Ctx->RelPath, Line, Col, Msg.str(), false, ""});
+  }
+
+  bool inDet() const {
+    return pathInDirs(Ctx->PolicyPath, kDeterministicDirs);
+  }
+  bool inObs() const { return pathInDirs(Ctx->PolicyPath, kObserverDirs); }
+  bool inBuilder() const { return pathInDirs(Ctx->PolicyPath, kBuilderDirs); }
+
+  static llvm::StringRef stdRecordName(QualType T) {
+    if (T.isNull())
+      return "";
+    const auto *RD = T.getNonReferenceType()
+                         .getCanonicalType()
+                         ->getAsCXXRecordDecl();
+    if (!RD || !RD->isInStdNamespace())
+      return "";
+    return RD->getName();
+  }
+
+  // wall-clock ---------------------------------------------------------------
+
+  void wallClockType(const MatchFinder::MatchResult &R, TypeLoc TL) {
+    if (!inDet())
+      return;
+    const auto *ND = R.Nodes.getNodeAs<NamedDecl>("clock");
+    if (!ND)
+      return;
+    std::string Name = ND->getNameAsString();
+    report("wall-clock", TL.getBeginLoc(),
+           "std::" + (Name == "random_device"
+                          ? Name + " is host entropy"
+                          : "chrono::" + Name + " is host wall time") +
+               "; deterministic code must take time from the virtual clock "
+               "and entropy from ptb::Rng(seed)",
+           Name);
+  }
+
+  void wallClockNow(const MatchFinder::MatchResult &R, const CallExpr *CE) {
+    if (!inDet())
+      return;
+    const auto *MD = R.Nodes.getNodeAs<CXXMethodDecl>("clockfn");
+    if (!MD)
+      return;
+    // Dedup key is the clock class name: `steady_clock::now()` also fires
+    // the typeLoc matcher on the qualifier, and must count once.
+    std::string Name = MD->getParent()->getNameAsString();
+    report("wall-clock", CE->getBeginLoc(),
+           "std::chrono::" + Name + "::now() is host wall time; "
+               "deterministic code must take time from the virtual clock",
+           Name);
+  }
+
+  void wallClockCall(const MatchFinder::MatchResult &R, const CallExpr *CE) {
+    if (!inDet())
+      return;
+    const auto *FD = R.Nodes.getNodeAs<FunctionDecl>("hostfn");
+    if (!FD)
+      return;
+    std::string Name = FD->getNameAsString();
+    report("wall-clock", CE->getBeginLoc(),
+           Name + "() reads host time/state; deterministic code must take "
+                  "time from the virtual clock and entropy from "
+                  "ptb::Rng(seed)",
+           Name);
+  }
+
+  // ptr-key-order ------------------------------------------------------------
+
+  void ptrKey(const MatchFinder::MatchResult &R, TypeLoc TL) {
+    if (!inDet())
+      return;
+    const auto *Spec =
+        R.Nodes.getNodeAs<ClassTemplateSpecializationDecl>("spec");
+    if (!Spec)
+      return;
+    const TemplateArgumentList &Args = Spec->getTemplateArgs();
+    if (Args.size() == 0 || Args[0].getKind() != TemplateArgument::Type)
+      return;
+    QualType Key = Args[0].getAsType();
+    if (!Key->isPointerType() || Key->isFunctionPointerType())
+      return;
+    llvm::StringRef Container = Spec->getName(); // "map" or "set"
+    unsigned CmpIdx = Container == "map" ? 2 : 1;
+    if (Args.size() > CmpIdx &&
+        Args[CmpIdx].getKind() == TemplateArgument::Type) {
+      // Explicit deterministic comparator => fine. The AST always carries
+      // the defaulted std::less<Key>, so "default" means exactly that type.
+      QualType Cmp = Args[CmpIdx].getAsType();
+      const auto *CmpSpec = llvm::dyn_cast_or_null<
+          ClassTemplateSpecializationDecl>(Cmp->getAsCXXRecordDecl());
+      bool DefaultLess = CmpSpec && CmpSpec->isInStdNamespace() &&
+                         CmpSpec->getName() == "less" &&
+                         CmpSpec->getTemplateArgs().size() == 1 &&
+                         CmpSpec->getTemplateArgs()[0].getKind() ==
+                             TemplateArgument::Type &&
+                         AC->hasSameType(
+                             CmpSpec->getTemplateArgs()[0].getAsType(), Key);
+      if (!DefaultLess)
+        return;
+    }
+    report("ptr-key-order", TL.getBeginLoc(),
+           ("std::" + Container + " keyed by a raw pointer iterates in "
+                                  "allocation-address order, which varies "
+                                  "run to run; key by a stable id or pass an "
+                                  "explicit deterministic comparator")
+               .str(),
+           Container);
+  }
+
+  // unordered-iter -----------------------------------------------------------
+
+  void unorderedRange(const CXXForRangeStmt *FR) {
+    if (!inDet() && !inObs())
+      return;
+    const Expr *Range = FR->getRangeInit();
+    if (!Range)
+      return;
+    llvm::StringRef Name = stdRecordName(Range->getType());
+    if (!Name.startswith("unordered_"))
+      return;
+    report("unordered-iter", FR->getBeginLoc(),
+           ("range-for over a std::" + Name + ": iteration order is "
+                                              "hash/rehash dependent; sort "
+                                              "into a total order first, or "
+                                              "suppress with a reason proving "
+                                              "the fold is order-insensitive")
+               .str());
+  }
+
+  void unorderedBegin(const CXXMemberCallExpr *MC) {
+    if (!inDet() && !inObs())
+      return;
+    const Expr *Obj = MC->getImplicitObjectArgument();
+    if (!Obj)
+      return;
+    llvm::StringRef Name = stdRecordName(Obj->getType());
+    if (!Name.startswith("unordered_"))
+      return;
+    report("unordered-iter", MC->getExprLoc(),
+           ("iterator over a std::" + Name + ": order is hash/rehash "
+                                             "dependent")
+               .str());
+  }
+
+  // observer-mutation ----------------------------------------------------------
+
+  void observerCast(const CXXConstCastExpr *CC) {
+    if (!inObs())
+      return;
+    report("observer-mutation", CC->getBeginLoc(),
+           "const_cast in an observer layer: the hook arguments are const "
+           "because observers must not write into simulation-owned memory");
+  }
+
+  void observerDecl(const DeclaratorDecl *DD) {
+    if (!inObs())
+      return;
+    QualType T = DD->getType();
+    QualType Pointee;
+    if (T->isPointerType())
+      Pointee = T->getPointeeType();
+    else if (T->isLValueReferenceType())
+      Pointee = T.getNonReferenceType();
+    else
+      return;
+    if (Pointee.isNull() || Pointee.isConstQualified())
+      return;
+    const auto *RD = Pointee->getAsCXXRecordDecl();
+    if (!RD)
+      return;
+    llvm::StringRef Name = RD->getName();
+    if (Name != "SimContext" && Name != "SimProc")
+      return;
+    SourceLocation Loc = DD->getTypeSpecStartLoc();
+    if (Loc.isInvalid())
+      Loc = DD->getLocation();
+    report("observer-mutation", Loc,
+           "non-const SimContext/SimProc handle in an observer layer: "
+           "observers are pure — they may only read state the simulator "
+           "already computed (take `const SimContext&`)",
+           DD->getNameAsString());
+  }
+
+  // decorator-latency ----------------------------------------------------------
+
+  // getName() asserts on non-identifier names (constructors, destructors,
+  // operators); every name probe below goes through this instead.
+  static llvm::StringRef identName(const NamedDecl *ND) {
+    if (!ND || !ND->getDeclName().isIdentifier())
+      return "";
+    return ND->getName();
+  }
+
+  static void collectStmts(const Stmt *S,
+                           llvm::SmallVectorImpl<const Stmt *> &Out) {
+    if (!S)
+      return;
+    Out.push_back(S);
+    for (const Stmt *C : S->children())
+      collectStmts(C, Out);
+  }
+
+  // Does this expression name the decorator's inner-model handle? Handles a
+  // raw `MemModel* inner_`, a smart pointer (`inner_->` goes through
+  // operator->), and a plain member or local named inner_/inner.
+  static bool namesInner(const Expr *E) {
+    if (!E)
+      return false;
+    E = E->IgnoreParenImpCasts();
+    if (const auto *ME = llvm::dyn_cast<MemberExpr>(E))
+      return identName(ME->getMemberDecl()) == "inner_" ||
+             identName(ME->getMemberDecl()) == "inner";
+    if (const auto *DR = llvm::dyn_cast<DeclRefExpr>(E))
+      return identName(DR->getDecl()) == "inner_" ||
+             identName(DR->getDecl()) == "inner";
+    if (const auto *OC = llvm::dyn_cast<CXXOperatorCallExpr>(E))
+      if (OC->getOperator() == OO_Arrow && OC->getNumArgs() >= 1)
+        return namesInner(OC->getArg(0));
+    return false;
+  }
+
+  const Stmt *semanticParent(const Stmt *S, const VarDecl *&VD) {
+    VD = nullptr;
+    DynTypedNode Node = DynTypedNode::create(*S);
+    for (int Depth = 0; Depth < 32; ++Depth) {
+      auto Parents = AC->getParents(Node);
+      if (Parents.empty())
+        return nullptr;
+      const DynTypedNode &P = Parents[0];
+      if (const auto *V = P.get<VarDecl>()) {
+        VD = V;
+        return nullptr;
+      }
+      if (const auto *PS = P.get<Stmt>()) {
+        if (llvm::isa<ImplicitCastExpr>(PS) || llvm::isa<ParenExpr>(PS) ||
+            llvm::isa<ExprWithCleanups>(PS) ||
+            llvm::isa<MaterializeTemporaryExpr>(PS) ||
+            llvm::isa<CXXBindTemporaryExpr>(PS) ||
+            llvm::isa<ConstantExpr>(PS) || llvm::isa<DeclStmt>(PS)) {
+          if (const auto *DS = llvm::dyn_cast<DeclStmt>(PS)) {
+            if (DS->isSingleDecl())
+              if (const auto *V = llvm::dyn_cast<VarDecl>(DS->getSingleDecl())) {
+                VD = V;
+                return nullptr;
+              }
+            return PS;
+          }
+          Node = P;
+          continue;
+        }
+        return PS;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  static bool refersToVar(const Stmt *S, const VarDecl *VD) {
+    if (!S)
+      return false;
+    llvm::SmallVector<const Stmt *, 32> All;
+    collectStmts(S, All);
+    for (const Stmt *X : All)
+      if (const auto *DR = llvm::dyn_cast<DeclRefExpr>(X))
+        if (DR->getDecl() == VD)
+          return true;
+    return false;
+  }
+
+  void decorator(const CXXMethodDecl *MD) {
+    if (Ctx->PolicyPath.rfind(std::string(kMemDir) + "/", 0) == 0)
+      return;
+    if (!llvm::StringRef(Ctx->PolicyPath).startswith("src/"))
+      return;
+    if (!isLatencyHook(identName(MD)))
+      return;
+    const Stmt *Body = MD->getBody();
+    if (!Body)
+      return;
+
+    llvm::SmallVector<const Stmt *, 64> All;
+    collectStmts(Body, All);
+
+    llvm::SmallVector<const CXXMemberCallExpr *, 4> Forwards;
+    bool HasReturn = false;
+    for (const Stmt *S : All) {
+      if (llvm::isa<ReturnStmt>(S))
+        HasReturn = true;
+      const auto *MC = llvm::dyn_cast<CXXMemberCallExpr>(S);
+      if (!MC)
+        continue;
+      const auto *Callee =
+          llvm::dyn_cast_or_null<MemberExpr>(MC->getCallee()->IgnoreParens());
+      if (!Callee || !identName(Callee->getMemberDecl()).startswith("on_"))
+        continue;
+      if (namesInner(Callee->getBase()))
+        Forwards.push_back(MC);
+    }
+
+    if (Forwards.empty()) {
+      report("decorator-latency", MD->getBeginLoc(),
+             (MD->getName() + " in a MemModel decorator never forwards to "
+                              "the inner model: every access path must "
+                              "return the inner latency unmodified "
+                              "(synthesizing latency perturbs virtual time)")
+                 .str(),
+             MD->getNameAsString());
+      return;
+    }
+
+    for (const CXXMemberCallExpr *Call : Forwards) {
+      const VarDecl *VD = nullptr;
+      const Stmt *Parent = semanticParent(Call, VD);
+
+      if (VD) {
+        checkTrackedVar(MD, Call, VD, All);
+        continue;
+      }
+      if (!Parent)
+        continue;
+      if (llvm::isa<ReturnStmt>(Parent))
+        continue; // `return inner_->on_x(...);` — the pure-forward idiom
+      if (const auto *BO = llvm::dyn_cast<BinaryOperator>(Parent)) {
+        if (BO->isAssignmentOp() && !BO->isCompoundAssignmentOp()) {
+          // `lat = inner_->on_x(...)`: same tracking as an init.
+          if (const auto *DR = llvm::dyn_cast<DeclRefExpr>(
+                  BO->getLHS()->IgnoreParenImpCasts()))
+            if (const auto *V = llvm::dyn_cast<VarDecl>(DR->getDecl())) {
+              checkTrackedVar(MD, Call, V, All, BO);
+              continue;
+            }
+        }
+        report("decorator-latency", Call->getBeginLoc(),
+               "arithmetic on the latency forwarded from the inner model: "
+               "decorators must return it unmodified");
+        continue;
+      }
+      if (llvm::isa<CompoundStmt>(Parent) && HasReturn) {
+        report("decorator-latency", Call->getBeginLoc(),
+               "result of the inner-model hook is discarded while the hook "
+               "returns something else: the inner latency must be the "
+               "returned value");
+        continue;
+      }
+      // Anything else (passed as an argument, folded into a recorder call,
+      // ...) is out of scope for this check, as in the reference engine.
+    }
+  }
+
+  void checkTrackedVar(const CXXMethodDecl *MD, const CXXMemberCallExpr *Call,
+                       const VarDecl *VD,
+                       llvm::ArrayRef<const Stmt *> All,
+                       const Stmt *InitAssign = nullptr) {
+    (void)Call;
+    for (const Stmt *S : All) {
+      if (S == InitAssign)
+        continue;
+      if (const auto *BO = llvm::dyn_cast<BinaryOperator>(S)) {
+        if (!BO->isAssignmentOp())
+          continue;
+        const auto *DR =
+            llvm::dyn_cast<DeclRefExpr>(BO->getLHS()->IgnoreParenImpCasts());
+        if (DR && DR->getDecl() == VD) {
+          report("decorator-latency", BO->getBeginLoc(),
+                 ("`" + VD->getName() + "` holds the latency forwarded from "
+                                        "the inner model but is modified "
+                                        "before being returned")
+                     .str(),
+                 VD->getNameAsString());
+          return;
+        }
+      } else if (const auto *UO = llvm::dyn_cast<UnaryOperator>(S)) {
+        if (!UO->isIncrementDecrementOp())
+          continue;
+        const auto *DR = llvm::dyn_cast<DeclRefExpr>(
+            UO->getSubExpr()->IgnoreParenImpCasts());
+        if (DR && DR->getDecl() == VD) {
+          report("decorator-latency", UO->getBeginLoc(),
+                 ("`" + VD->getName() + "` holds the latency forwarded from "
+                                        "the inner model but is modified "
+                                        "before being returned")
+                     .str(),
+                 VD->getNameAsString());
+          return;
+        }
+      }
+    }
+    // Unmodified; any return mentioning the variable must be exactly it.
+    for (const Stmt *S : All) {
+      const auto *RS = llvm::dyn_cast<ReturnStmt>(S);
+      if (!RS || !RS->getRetValue())
+        continue;
+      const Expr *RV = RS->getRetValue()->IgnoreParenImpCasts();
+      if (const auto *DR = llvm::dyn_cast<DeclRefExpr>(RV))
+        if (DR->getDecl() == VD)
+          continue;
+      if (refersToVar(RV, VD)) {
+        report("decorator-latency", RS->getBeginLoc(),
+               ("return applies arithmetic to `" + VD->getName() + "`, the "
+                                                                   "latency "
+                                                                   "forwarded "
+                                                                   "from the "
+                                                                   "inner "
+                                                                   "model")
+                   .str(),
+               VD->getNameAsString());
+        return;
+      }
+    }
+    (void)MD;
+  }
+
+  // raw-lock -------------------------------------------------------------------
+
+  void rawLock(SourceLocation Loc, const std::string &Member) {
+    if (!inBuilder())
+      return;
+    report("raw-lock", Loc,
+           "direct ." + Member + "() in a builder: go through "
+                                 "detail::maybe_lock/maybe_unlock so "
+                                 "--elide-locks fault injection covers every "
+                                 "synchronization site",
+           Member);
+  }
+
+  void resolvedLock(const CXXMemberCallExpr *MC) {
+    const auto *Callee =
+        llvm::dyn_cast_or_null<MemberExpr>(MC->getCallee()->IgnoreParens());
+    if (!Callee)
+      return;
+    rawLock(Callee->getMemberLoc(), Callee->getMemberDecl()->getNameAsString());
+  }
+
+  // addr-stream ----------------------------------------------------------------
+
+  void addrLiteral(const StringLiteral *SL) {
+    if (!inDet() && !inObs())
+      return;
+    if (SL->getCharByteWidth() != 1)
+      return;
+    if (!SL->getString().contains("%p"))
+      return;
+    report("addr-stream", SL->getBeginLoc(),
+           "%p formats a host address into output; report a region+offset "
+           "or a virtual-time intern id instead",
+           "%p");
+  }
+
+  void addrStream(const MatchFinder::MatchResult &R,
+                  const CXXOperatorCallExpr *OC) {
+    if (!inDet() && !inObs())
+      return;
+    if (OC->getNumArgs() < 2)
+      return;
+    const Expr *Arg = OC->getArg(1)->IgnoreParenImpCasts();
+
+    if (const auto *RC = llvm::dyn_cast<CXXReinterpretCastExpr>(Arg)) {
+      std::string Dest = RC->getTypeAsWritten().getAsString();
+      if (Dest.find("intptr_t") != std::string::npos) {
+        report("addr-stream", Arg->getBeginLoc(),
+               "streaming a pointer cast to an integer publishes a host "
+               "address; report a region+offset or an intern id instead",
+               "cast");
+      }
+      return;
+    }
+
+    QualType T = Arg->getType();
+    if (!T->isPointerType())
+      return;
+    QualType Pointee = T->getPointeeType();
+    if (Pointee->isAnyCharacterType() || Pointee->isFunctionType())
+      return; // string data and iostream manipulators are not addresses
+    report("addr-stream", Arg->getBeginLoc(),
+           "a host pointer value is streamed into output and varies across "
+           "processes under ASLR; report a region+offset or an intern id "
+           "instead",
+           "ptr");
+    (void)R;
+  }
+};
+
+void addMatchers(MatchFinder &Finder, Checker &CB) {
+  // wall-clock: clock/entropy types by name, their ::now(), and the C-level
+  // host time/state calls.
+  Finder.addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(
+                  namedDecl(hasAnyName("::std::chrono::steady_clock",
+                                       "::std::chrono::system_clock",
+                                       "::std::chrono::high_resolution_clock",
+                                       "::std::random_device"))
+                      .bind("clock")))),
+              isExpansionInMainFile())
+          .bind("wc-type"),
+      &CB);
+  Finder.addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::steady_clock",
+                                      "::std::chrono::system_clock",
+                                      "::std::chrono::high_resolution_clock")))
+                   .bind("clockfn")),
+               isExpansionInMainFile())
+          .bind("wc-now"),
+      &CB);
+  Finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand",
+                                              "::std::rand", "::std::srand",
+                                              "::time", "::std::time",
+                                              "::gettimeofday",
+                                              "::clock_gettime", "::getrusage"))
+                   .bind("hostfn")),
+               isExpansionInMainFile())
+          .bind("wc-call"),
+      &CB);
+
+  // ptr-key-order
+  Finder.addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(
+                  classTemplateSpecializationDecl(
+                      hasAnyName("::std::map", "::std::set"))
+                      .bind("spec")))),
+              isExpansionInMainFile())
+          .bind("ptrkey"),
+      &CB);
+
+  // unordered-iter
+  Finder.addMatcher(
+      cxxForRangeStmt(isExpansionInMainFile()).bind("uo-range"), &CB);
+  Finder.addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        isExpansionInMainFile())
+          .bind("uo-begin"),
+      &CB);
+
+  // observer-mutation
+  Finder.addMatcher(cxxConstCastExpr(isExpansionInMainFile()).bind("obs-cast"),
+                    &CB);
+  Finder.addMatcher(declaratorDecl(isExpansionInMainFile()).bind("obs-decl"),
+                    &CB);
+
+  // decorator-latency: latency hooks of MemModel subclasses. The directory
+  // policy (decorators live outside src/mem) is applied in the callback.
+  Finder.addMatcher(
+      cxxMethodDecl(isDefinition(),
+                    ofClass(cxxRecordDecl(
+                        isDerivedFrom(cxxRecordDecl(hasName("MemModel"))))),
+                    isExpansionInMainFile())
+          .bind("deco"),
+      &CB);
+
+  // raw-lock: both dependent (template builder code) and resolved member
+  // calls; the maybe_lock/maybe_unlock gate bodies are the sanctioned sites.
+  auto NotInGate = unless(
+      hasAncestor(functionDecl(hasAnyName("maybe_lock", "maybe_unlock"))));
+  Finder.addMatcher(
+      cxxDependentScopeMemberExpr(
+          anyOf(hasMemberName("lock"), hasMemberName("unlock")), NotInGate,
+          isExpansionInMainFile())
+          .bind("lock-dep"),
+      &CB);
+  Finder.addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("lock", "unlock"))),
+                        NotInGate, isExpansionInMainFile())
+          .bind("lock-mem"),
+      &CB);
+
+  // addr-stream
+  Finder.addMatcher(
+      stringLiteral(hasAncestor(callExpr()), isExpansionInMainFile())
+          .bind("addr-plit"),
+      &CB);
+  Finder.addMatcher(cxxOperatorCallExpr(hasOverloadedOperatorName("<<"),
+                                        isExpansionInMainFile())
+                        .bind("addr-stream"),
+                    &CB);
+}
+
+// --- driver -----------------------------------------------------------------
+
+llvm::cl::OptionCategory Cat("ptblint options");
+llvm::cl::opt<std::string> Root("root", llvm::cl::desc("repo root"),
+                                llvm::cl::init(""), llvm::cl::cat(Cat));
+llvm::cl::opt<std::string> JsonOut(
+    "json", llvm::cl::desc("write machine-readable findings (\"-\" = stdout)"),
+    llvm::cl::init(""), llvm::cl::cat(Cat));
+llvm::cl::opt<bool> Quiet("quiet",
+                          llvm::cl::desc("suppress the per-finding report"),
+                          llvm::cl::init(false), llvm::cl::cat(Cat));
+llvm::cl::opt<bool> ListChecks("list-checks", llvm::cl::desc("list check ids"),
+                               llvm::cl::init(false), llvm::cl::cat(Cat));
+llvm::cl::list<std::string>
+    Inputs(llvm::cl::Positional, llvm::cl::desc("[files or directories...]"),
+           llvm::cl::ZeroOrMore, llvm::cl::cat(Cat));
+
+bool hasSourceExt(llvm::StringRef Path) {
+  return Path.endswith(".cpp") || Path.endswith(".hpp") ||
+         Path.endswith(".h") || Path.endswith(".cc");
+}
+
+int collectFiles(const std::string &RootPath,
+                 std::vector<std::string> &Files) {
+  std::vector<std::string> Paths(Inputs.begin(), Inputs.end());
+  if (Paths.empty())
+    Paths.push_back(RootPath + "/src");
+  for (const std::string &P : Paths) {
+    if (llvm::sys::fs::is_directory(P)) {
+      std::error_code EC;
+      for (llvm::sys::fs::recursive_directory_iterator It(P, EC), End;
+           It != End && !EC; It.increment(EC)) {
+        if (llvm::sys::fs::is_regular_file(It->path()) &&
+            hasSourceExt(It->path()))
+          Files.push_back(It->path());
+      }
+      if (EC) {
+        llvm::errs() << "ptblint: cannot walk " << P << ": " << EC.message()
+                     << "\n";
+        return 2;
+      }
+    } else if (llvm::sys::fs::exists(P)) {
+      Files.push_back(P);
+    } else {
+      llvm::errs() << "ptblint: no such path: " << P << "\n";
+      return 2;
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  Files.erase(std::unique(Files.begin(), Files.end()), Files.end());
+  return 0;
+}
+
+std::string relTo(const std::string &RootPath, const std::string &Path) {
+  llvm::SmallString<256> AbsRoot(RootPath), Abs(Path);
+  llvm::sys::fs::make_absolute(AbsRoot);
+  llvm::sys::fs::make_absolute(Abs);
+  llvm::sys::path::remove_dots(AbsRoot, /*remove_dot_dot=*/true);
+  llvm::sys::path::remove_dots(Abs, /*remove_dot_dot=*/true);
+  llvm::StringRef R(AbsRoot), A(Abs);
+  if (A.startswith(R) && A.size() > R.size() && A[R.size()] == '/')
+    return A.drop_front(R.size() + 1).str();
+  return Path;
+}
+
+} // namespace
+
+int main(int argc, const char **argv) {
+  llvm::cl::HideUnrelatedOptions(Cat);
+  llvm::cl::ParseCommandLineOptions(
+      argc, argv,
+      "ptblint (clang engine) — determinism/observer-purity lint for ptb\n");
+
+  if (ListChecks) {
+    for (const auto &C : kChecks)
+      llvm::outs() << llvm::formatv("{0,-20} {1}\n", C.first, C.second);
+    return 0;
+  }
+
+  std::string RootPath = Root.empty() ? "." : Root.getValue();
+  std::vector<std::string> Files;
+  if (int RC = collectFiles(RootPath, Files))
+    return RC;
+  if (Files.empty()) {
+    llvm::errs() << "ptblint: no input files\n";
+    return 2;
+  }
+
+  std::vector<std::string> Args = {"-std=c++20", "-xc++",
+                                   "-I" + RootPath + "/src",
+                                   "-Wno-everything", "-ferror-limit=0"};
+  FixedCompilationDatabase DB(".", Args);
+
+  std::vector<Finding> Findings;
+  Checker CB(Findings);
+  MatchFinder Finder;
+  addMatchers(Finder, CB);
+  IgnoringDiagConsumer Silencer;
+
+  std::vector<FileCtx> Ctxs(Files.size());
+  for (size_t I = 0; I < Files.size(); ++I) {
+    FileCtx &Ctx = Ctxs[I];
+    Ctx.RealPath = Files[I];
+    Ctx.RelPath = relTo(RootPath, Files[I]);
+    Ctx.PolicyPath = Ctx.RelPath;
+
+    auto Buf = llvm::MemoryBuffer::getFile(Files[I]);
+    if (!Buf) {
+      llvm::errs() << "ptblint: cannot read " << Files[I] << "\n";
+      return 2;
+    }
+    parseDirectives(Buf.get()->getBuffer(), Ctx);
+
+    CB.Ctx = &Ctx;
+    ClangTool Tool(DB, {Files[I]});
+    Tool.setDiagnosticConsumer(&Silencer);
+    // Parse errors are tolerated: fixtures and headers are scanned as
+    // standalone TUs and the matchers run over whatever the recovering
+    // parser produced. The python engine is the availability baseline; this
+    // engine adds precision where the code parses.
+    (void)Tool.run(clang::tooling::newFrontendActionFactory(&Finder).get());
+
+    // Suppressions + the suppression meta-checks for this file.
+    for (const Suppression &Sup : Ctx.Sups) {
+      for (const std::string &C : Sup.Checks)
+        if (!isKnownCheck(C))
+          Findings.push_back({"suppress-unknown", Ctx.RelPath, Sup.Line, 1,
+                              "allow(" + C + ") names an unknown check",
+                              false, ""});
+      if (Sup.Reason.empty()) {
+        Findings.push_back(
+            {"suppress-reason", Ctx.RelPath, Sup.Line, 1,
+             "suppression without a reason: write `// ptblint: "
+             "allow(<check>) -- <why this site is safe>` (a reasonless allow "
+             "suppresses nothing)",
+             false, ""});
+        continue;
+      }
+      for (Finding &F : Findings) {
+        if (F.File == Ctx.RelPath && F.Line == Sup.Target &&
+            std::find(Sup.Checks.begin(), Sup.Checks.end(), F.Check) !=
+                Sup.Checks.end()) {
+          F.Suppressed = true;
+          F.Reason = Sup.Reason;
+        }
+      }
+    }
+  }
+
+  std::sort(Findings.begin(), Findings.end(),
+            [](const Finding &A, const Finding &B) {
+              return std::tie(A.File, A.Line, A.Check) <
+                     std::tie(B.File, B.Line, B.Check);
+            });
+  size_t NumSup = 0;
+  for (const Finding &F : Findings)
+    NumSup += F.Suppressed ? 1 : 0;
+  size_t NumUnsup = Findings.size() - NumSup;
+
+  if (!Quiet) {
+    for (const Finding &F : Findings)
+      if (!F.Suppressed)
+        llvm::outs() << F.File << ":" << F.Line << ":" << F.Col << ": ["
+                     << F.Check << "] " << F.Message << "\n";
+    llvm::outs() << "ptblint: " << Files.size() << " files, "
+                 << Findings.size() << " findings (" << NumSup
+                 << " suppressed, " << NumUnsup << " unsuppressed)\n";
+  }
+
+  if (!JsonOut.empty()) {
+    llvm::json::Array Checks;
+    for (const auto &C : kChecks)
+      Checks.push_back(C.first);
+    llvm::json::Array Items;
+    llvm::json::Object ByCheck;
+    for (const Finding &F : Findings) {
+      Items.push_back(llvm::json::Object{
+          {"check", F.Check},
+          {"file", F.File},
+          {"line", static_cast<int64_t>(F.Line)},
+          {"col", static_cast<int64_t>(F.Col)},
+          {"message", F.Message},
+          {"suppressed", F.Suppressed},
+          {"reason", F.Suppressed ? llvm::json::Value(F.Reason)
+                                  : llvm::json::Value(nullptr)},
+      });
+      llvm::json::Object *Slot = ByCheck.getObject(F.Check);
+      if (!Slot) {
+        ByCheck[F.Check] =
+            llvm::json::Object{{"total", 0}, {"suppressed", 0}};
+        Slot = ByCheck.getObject(F.Check);
+      }
+      (*Slot)["total"] = Slot->getInteger("total").getValueOr(0) + 1;
+      if (F.Suppressed)
+        (*Slot)["suppressed"] =
+            Slot->getInteger("suppressed").getValueOr(0) + 1;
+    }
+    llvm::json::Object Doc{
+        {"tool", "ptblint"},
+        {"schema_version", 1},
+        {"engine", "clang"},
+        {"root", RootPath},
+        {"files_scanned", static_cast<int64_t>(Files.size())},
+        {"checks", std::move(Checks)},
+        {"findings", std::move(Items)},
+        {"counts",
+         llvm::json::Object{
+             {"total", static_cast<int64_t>(Findings.size())},
+             {"suppressed", static_cast<int64_t>(NumSup)},
+             {"unsuppressed", static_cast<int64_t>(NumUnsup)},
+             {"by_check", std::move(ByCheck)},
+         }},
+    };
+    std::string Payload;
+    llvm::raw_string_ostream SS(Payload);
+    SS << llvm::formatv("{0:2}", llvm::json::Value(std::move(Doc)));
+    SS.flush();
+    Payload += "\n";
+    if (JsonOut == "-") {
+      llvm::outs() << Payload;
+    } else {
+      std::error_code EC;
+      llvm::raw_fd_ostream OS(JsonOut, EC);
+      if (EC) {
+        llvm::errs() << "ptblint: cannot write " << JsonOut << ": "
+                     << EC.message() << "\n";
+        return 2;
+      }
+      OS << Payload;
+    }
+  }
+
+  return NumUnsup ? 1 : 0;
+}
