@@ -18,19 +18,11 @@
 #include "sim/sim_rt.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/provenance.hpp"
 #include "support/table.hpp"
 #include "treebuild/types.hpp"
 
 namespace ptb::bench {
-
-// Build provenance (stamped by the top-level CMakeLists; fall back so the
-// header also compiles standalone).
-#ifndef PTB_GIT_SHA
-#define PTB_GIT_SHA "unknown"
-#endif
-#ifndef PTB_BUILD_TYPE
-#define PTB_BUILD_TYPE "unknown"
-#endif
 
 /// Machine-readable result sink behind the --json=<path> flag: every
 /// measured cell is appended as one flat object (config strings + numeric
@@ -174,8 +166,8 @@ inline BenchOptions parse_options(int argc, char** argv, const std::string& defa
       cli.get_string("json", "", "also write results to this JSON file");
   opt.json.set_path(json_path);
   cli.finish();
-  opt.json.context("git_sha", PTB_GIT_SHA)
-      .context("build_type", PTB_BUILD_TYPE)
+  opt.json.context("git_sha", support::git_sha())
+      .context("build_type", support::build_type())
       .context("backend", to_string(opt.backend))
       .context("sizes", sizes)
       .context("procs", procs);

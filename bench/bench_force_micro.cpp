@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
 
   JsonReport json;
   json.set_path(json_path);
-  json.context("git_sha", PTB_GIT_SHA).context("build_type", PTB_BUILD_TYPE);
+  json.context("git_sha", support::git_sha()).context("build_type", support::build_type());
 
   // Deterministic synthetic partner cloud (xorshift), the same across paths.
   std::uint64_t rng = 0x9e3779b97f4a7c15ull;

@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
 
   JsonReport json;
   json.set_path(json_path);
-  json.context("git_sha", PTB_GIT_SHA).context("build_type", PTB_BUILD_TYPE);
+  json.context("git_sha", support::git_sha()).context("build_type", support::build_type());
 
   std::vector<char> arena(kRecords * kRecord, 1);
 

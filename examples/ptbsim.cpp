@@ -15,6 +15,7 @@
 #include <cstring>
 #include <memory>
 
+#include "anatomy/sweep.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "support/cli.hpp"
@@ -69,12 +70,18 @@ int main(int argc, char** argv) {
       "sight", "",
       "observe sharing patterns / false sharing / working sets and write the "
       "sight JSON here (or set PTB_SIGHT)"));
+  const std::string anatomy_path = anatomy::anatomy_path_from(cli.get_string(
+      "anatomy", "",
+      "ledger every virtual cycle into the speedup-loss categories and write "
+      "the anatomy JSON (with a p=1 reference run and waterfall) here (or set "
+      "PTB_ANATOMY)"));
   cli.epilogue(
       "Environment variables (each pairs with a flag; the flag wins):\n"
       "  PTB_TRACE=<path>        --trace          Chrome trace-event JSON output\n"
       "  PTB_RACE=1              --race           data-race detector\n"
       "  PTB_PROF=<path>         --prof           critical-path / what-if profile JSON\n"
       "  PTB_SIGHT=<path>        --sight          sharing / false-sharing / working-set JSON\n"
+      "  PTB_ANATOMY=<path>      --anatomy        speedup-loss ledger / waterfall JSON\n"
       "  PTB_SIGHT_WINDOW_NS=<n> (no flag)        false-sharing invalidation window override\n"
       "  PTB_MEM_SLOWPATH=1      (no flag)        force the memory model's virtual-dispatch path\n"
       "  PTB_FORCE_SLOWPATH=1    (no flag)        force the scalar force-interaction path\n"
@@ -99,6 +106,8 @@ int main(int argc, char** argv) {
   std::FILE* trace_out = trace_path.empty() ? nullptr : open_output(trace_path, "trace");
   std::FILE* prof_out = prof_path.empty() ? nullptr : open_output(prof_path, "prof");
   std::FILE* sight_out = sight_path.empty() ? nullptr : open_output(sight_path, "sight");
+  std::FILE* anatomy_out =
+      anatomy_path.empty() ? nullptr : open_output(anatomy_path, "anatomy");
 
   std::unique_ptr<trace::Tracer> tracer;
   if (trace_out != nullptr) {
@@ -107,6 +116,7 @@ int main(int argc, char** argv) {
   }
   spec.prof = prof_out != nullptr;
   spec.sight = sight_out != nullptr;
+  spec.anatomy = anatomy_out != nullptr;
 
   if (csv_header) {
     std::printf("platform,algorithm,n,procs,seq_s,par_s,speedup,treebuild_s,"
@@ -143,6 +153,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote sight report (%llu lines observed) to %s\n",
                  static_cast<unsigned long long>(r.sight.lines_observed),
                  sight_path.c_str());
+  }
+  anatomy::Waterfall anatomy_wf;
+  if (anatomy_out != nullptr) {
+    anatomy::SweepResult sr;
+    sr.prov.platform = spec.platform;
+    sr.prov.algorithm = algorithm_name(spec.algorithm);
+    sr.prov.nbodies = spec.n;
+    sr.prov.nprocs = spec.nprocs;
+    anatomy::SweepPoint pt;
+    pt.procs = spec.nprocs;
+    pt.speedup = r.speedup;
+    pt.ledger = r.anatomy;
+    if (spec.nprocs > 1) {
+      // One extra p=1 reference run of the same configuration turns the
+      // ledger into a speedup-loss waterfall; observers stay off it.
+      ExperimentSpec ref = spec;
+      ref.nprocs = 1;
+      ref.tracer = nullptr;
+      ref.race = ref.prof = ref.sight = false;
+      const ExperimentResult r1 = runner.run(ref);
+      anatomy::SweepPoint p1;
+      p1.procs = 1;
+      p1.speedup = r1.speedup;
+      p1.ledger = r1.anatomy;
+      anatomy_wf = anatomy::build_waterfall(p1.ledger, pt.ledger);
+      pt.waterfall = anatomy_wf;
+      sr.points.push_back(std::move(p1));
+    }
+    sr.points.push_back(std::move(pt));
+    anatomy::write_anatomy_json(sr, anatomy_out);
+    std::fclose(anatomy_out);
+    std::fprintf(stderr, "wrote anatomy ledger (%d categories, p=%d vs p=1) to %s\n",
+                 anatomy::kNumCategories, spec.nprocs, anatomy_path.c_str());
   }
 
   if (csv) {
@@ -200,5 +243,7 @@ int main(int argc, char** argv) {
 
   print_profile(r.profile);
   print_sight(r.sight);
+  print_anatomy(r.anatomy);
+  print_waterfall(anatomy_wf);
   return exit_code;
 }

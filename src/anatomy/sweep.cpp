@@ -1,0 +1,138 @@
+#include "anatomy/sweep.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "treebuild/types.hpp"
+
+namespace ptb::anatomy {
+
+SweepResult run_anatomy_sweep(ExperimentRunner& runner, ExperimentSpec spec,
+                              const std::vector<int>& procs) {
+  std::vector<int> sweep = procs;
+  if (std::find(sweep.begin(), sweep.end(), 1) == sweep.end())
+    sweep.insert(sweep.begin(), 1);
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  PTB_CHECK_MSG(!sweep.empty() && sweep.front() >= 1, "anatomy: bad processor sweep");
+
+  SweepResult out;
+  out.prov.platform = spec.platform;
+  out.prov.algorithm = algorithm_name(spec.algorithm);
+  out.prov.nbodies = spec.n;
+  out.prov.nprocs = sweep.back();
+
+  spec.anatomy = true;
+  for (int p : sweep) {
+    spec.nprocs = p;
+    const ExperimentResult r = runner.run(spec);
+    SweepPoint pt;
+    pt.procs = p;
+    pt.speedup = r.speedup;
+    pt.ledger = r.anatomy;
+    out.points.push_back(std::move(pt));
+  }
+  const SweepPoint* ref = out.reference();
+  PTB_CHECK_MSG(ref != nullptr, "anatomy: sweep lost its p=1 reference");
+  for (SweepPoint& pt : out.points) {
+    if (pt.procs == 1) continue;
+    pt.waterfall = build_waterfall(ref->ledger, pt.ledger);
+  }
+  return out;
+}
+
+namespace {
+
+void write_categories(std::FILE* f, const char* indent,
+                      const std::array<double, kNumCategories>& v) {
+  std::fprintf(f, "[");
+  for (int c = 0; c < kNumCategories; ++c) {
+    std::fprintf(f, "%s\n%s  {\"category\": \"%s\", \"ns\": %.0f}", c != 0 ? "," : "",
+                 indent, category_name(static_cast<Category>(c)),
+                 v[static_cast<std::size_t>(c)]);
+  }
+  std::fprintf(f, "\n%s]", indent);
+}
+
+std::array<double, kNumCategories> ledger_totals(const Ledger& led) {
+  std::array<double, kNumCategories> t{};
+  for (int c = 0; c < kNumCategories; ++c)
+    t[static_cast<std::size_t>(c)] = led.category_ns(static_cast<Category>(c));
+  return t;
+}
+
+}  // namespace
+
+void write_anatomy_json(const SweepResult& r, std::FILE* f) {
+  std::fprintf(f, "{\n  \"anatomy\": {\n    \"provenance\": ");
+  support::write_provenance_json(f, &r.prov);
+  std::fprintf(f, ",\n    \"runs\": [");
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const SweepPoint& pt = r.points[i];
+    const Ledger& led = pt.ledger;
+    const bool exact =
+        led.sum_ns() == static_cast<double>(led.nprocs) * led.total_ns;
+    std::fprintf(f,
+                 "%s\n      {\"procs\": %d, \"total_ns\": %.0f, \"speedup\": %.4f, "
+                 "\"invariant_exact\": %s,\n        \"categories\": ",
+                 i != 0 ? "," : "", pt.procs, led.total_ns, pt.speedup,
+                 exact ? "true" : "false");
+    write_categories(f, "        ", ledger_totals(led));
+    std::fprintf(f, ",\n        \"phases\": [");
+    bool first = true;
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      if (ph == static_cast<int>(Phase::kOther)) continue;
+      const auto phase = static_cast<Phase>(ph);
+      std::array<double, kNumCategories> v{};
+      for (int c = 0; c < kNumCategories; ++c)
+        v[static_cast<std::size_t>(c)] =
+            led.phase_category_ns(phase, static_cast<Category>(c));
+      std::fprintf(f, "%s\n          {\"phase\": \"%s\", \"ns\": %.0f, \"categories\": ",
+                   first ? "" : ",", phase_name(phase),
+                   led.phase_ns[static_cast<std::size_t>(ph)]);
+      write_categories(f, "          ", v);
+      std::fprintf(f, "}");
+      first = false;
+    }
+    std::fprintf(f, "\n        ]}");
+  }
+  std::fprintf(f, "\n    ],\n    \"waterfall\": [");
+  bool first = true;
+  for (const SweepPoint& pt : r.points) {
+    if (!pt.waterfall.enabled) continue;
+    const Waterfall& w = pt.waterfall;
+    std::fprintf(f,
+                 "%s\n      {\"procs\": %d, \"t1_ns\": %.0f, \"tp_ns\": %.0f, "
+                 "\"loss_ns\": %.0f,\n        \"deltas\": ",
+                 first ? "" : ",", w.procs, w.t1_ns, w.tp_ns, w.loss_ns);
+    write_categories(f, "        ", w.delta);
+    std::fprintf(f, ",\n        \"phase_deltas\": [");
+    bool pfirst = true;
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      if (ph == static_cast<int>(Phase::kOther)) continue;
+      std::fprintf(f, "%s\n          {\"phase\": \"%s\", \"deltas\": ", pfirst ? "" : ",",
+                   phase_name(static_cast<Phase>(ph)));
+      write_categories(f, "          ", w.phase_delta[static_cast<std::size_t>(ph)]);
+      std::fprintf(f, "}");
+      pfirst = false;
+    }
+    std::fprintf(f, "\n        ]}");
+    first = false;
+  }
+  std::fprintf(f, "\n    ]\n  }\n}\n");
+}
+
+std::string anatomy_json(const SweepResult& r) {
+  std::FILE* f = std::tmpfile();
+  PTB_CHECK_MSG(f != nullptr, "anatomy: cannot create temporary file");
+  write_anatomy_json(r, f);
+  long size = std::ftell(f);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::rewind(f);
+  std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return out;
+}
+
+}  // namespace ptb::anatomy

@@ -1,0 +1,47 @@
+// The differential layer of ptb::anatomy: run one (platform, algorithm, n)
+// configuration at a sweep of processor counts, ledger every run, and
+// attribute the speedup loss p·T_p − T_1 per category/phase against the
+// p=1 reference. write_anatomy_json emits the provenance-stamped report
+// tools/anatomy_report.py renders and tools/compare_runs.py diffs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anatomy/anatomy.hpp"
+#include "harness/experiment.hpp"
+#include "support/provenance.hpp"
+
+namespace ptb::anatomy {
+
+struct SweepPoint {
+  int procs = 0;
+  double speedup = 0.0;  // vs the platform's sequential baseline
+  Ledger ledger;
+  Waterfall waterfall;  // disabled on the p=1 reference point
+};
+
+struct SweepResult {
+  support::RunProvenance prov;  // nprocs = the largest swept count
+  std::vector<SweepPoint> points;
+
+  const SweepPoint* reference() const {
+    for (const SweepPoint& pt : points)
+      if (pt.procs == 1) return &pt;
+    return nullptr;
+  }
+};
+
+/// Runs `spec` at every processor count in `procs` (a p=1 reference run is
+/// prepended when missing) with the anatomy ledger enabled, and builds the
+/// per-point waterfalls. `spec.nprocs` is overwritten per point.
+SweepResult run_anatomy_sweep(ExperimentRunner& runner, ExperimentSpec spec,
+                              const std::vector<int>& procs);
+
+void write_anatomy_json(const SweepResult& r, std::FILE* f);
+
+/// write_anatomy_json via a temporary file (test/tool convenience).
+std::string anatomy_json(const SweepResult& r);
+
+}  // namespace ptb::anatomy

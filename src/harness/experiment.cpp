@@ -7,6 +7,7 @@
 
 #include "prof/prof.hpp"
 #include "sim/sim_rt.hpp"
+#include "support/check.hpp"
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
 #include "treebuild/partree.hpp"
@@ -149,6 +150,9 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   prof::Recorder recorder;
   const bool profiling = spec.prof || prof::default_prof_enabled();
   if (profiling) ctx.set_profiler(&recorder);
+  anatomy::Collector collector;
+  const bool ledgering = spec.anatomy || anatomy::default_anatomy_enabled();
+  if (ledgering) ctx.set_anatomy(&collector);
 
   ExperimentResult out;
   {
@@ -196,6 +200,14 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   // Everything below is *derived* from the metrics registry — the scalar
   // fields are conveniences over the same data benches can query directly.
   ingest_run_metrics(out.metrics, out.run.proc_stats, &ctx.mem());
+  if (ledgering) {
+    out.anatomy = anatomy::build_ledger(out.run.proc_stats, collector, platform);
+    // The ledger's phase-max sum must reproduce the run's measured total —
+    // both are exact sums of the same integer-valued clocks.
+    PTB_CHECK_MSG(out.anatomy.total_ns == out.run.total_ns,
+                  "anatomy: ledger T_p disagrees with RunResult::total_ns");
+    anatomy::ingest_anatomy_metrics(out.metrics, out.anatomy);
+  }
   // Force-phase interaction counts (last measured step), split by partner
   // kind: cell = subtree approximated by its center of mass, body = direct.
   for (int p = 0; p < spec.nprocs; ++p) {

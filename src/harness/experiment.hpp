@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "anatomy/anatomy.hpp"
 #include "harness/app.hpp"
 #include "mem/model.hpp"
 #include "prof/profile.hpp"
@@ -48,6 +49,10 @@ struct ExperimentSpec {
   /// PTB_SIGHT). Virtual times are unchanged; ExperimentResult::sight
   /// carries the report.
   bool sight = false;
+  /// Classify every virtual cycle of every processor into the speedup-loss
+  /// ledger (--anatomy / PTB_ANATOMY). Virtual times are unchanged;
+  /// ExperimentResult::anatomy carries the ledger.
+  bool anatomy = false;
   BHConfig bh;  // n is overwritten from `n`
 };
 
@@ -89,6 +94,9 @@ struct ExperimentResult {
   /// Sharing-pattern / false-sharing / working-set report (enabled == false
   /// unless the run was under --sight / PTB_SIGHT).
   sight::SightReport sight;
+  /// Exact per-cycle speedup-loss ledger (enabled == false unless the run
+  /// was under --anatomy / PTB_ANATOMY).
+  anatomy::Ledger anatomy;
   // Full per-phase breakdown.
   RunResult run;
   /// Every scalar above is derived from this registry (the single source of

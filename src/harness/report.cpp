@@ -269,4 +269,54 @@ void print_sight(const sight::SightReport& r) {
   }
 }
 
+void print_anatomy(const anatomy::Ledger& led) {
+  if (!led.enabled) return;
+  const double pt = static_cast<double>(led.nprocs) * led.total_ns;
+  const auto share = [&](double ns) { return fmt_percent(pt > 0.0 ? ns / pt : 0.0); };
+
+  Table totals("anatomy ledger: every cycle of every processor, p*T_p total");
+  totals.set_header({"category", "seconds", "share"});
+  for (int c = 0; c < anatomy::kNumCategories; ++c) {
+    const auto cat = static_cast<anatomy::Category>(c);
+    const double ns = led.category_ns(cat);
+    totals.add_row({anatomy::category_name(cat), fmt_seconds(ns * 1e-9), share(ns)});
+  }
+  totals.add_row({"imbalance (barrier+skew)", fmt_seconds(led.imbalance_ns() * 1e-9),
+                  share(led.imbalance_ns())});
+  totals.add_row({"p * T_p", fmt_seconds(pt * 1e-9), fmt_percent(1.0)});
+  totals.print();
+
+  Table grid("anatomy ledger by phase (seconds, summed over processors)");
+  grid.set_header({"phase", "busy", "mem local", "mem remote", "lock", "barrier",
+                   "skew", "p * phase"});
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    if (ph == static_cast<int>(Phase::kOther)) continue;
+    const auto phase = static_cast<Phase>(ph);
+    if (led.phase_ns[static_cast<std::size_t>(ph)] == 0.0) continue;
+    std::vector<std::string> cells{phase_name(phase)};
+    for (int c = 0; c < anatomy::kNumCategories; ++c)
+      cells.push_back(fmt_seconds(
+          led.phase_category_ns(phase, static_cast<anatomy::Category>(c)) * 1e-9));
+    cells.push_back(fmt_seconds(static_cast<double>(led.nprocs) *
+                                led.phase_ns[static_cast<std::size_t>(ph)] * 1e-9));
+    grid.add_row(cells);
+  }
+  grid.print();
+}
+
+void print_waterfall(const anatomy::Waterfall& w) {
+  if (!w.enabled) return;
+  Table t("speedup-loss waterfall: p*T_p - T_1 = " + fmt_seconds(w.loss_ns * 1e-9) +
+          " attributed per category (p=" + std::to_string(w.procs) + ")");
+  t.set_header({"category", "delta seconds", "share of loss"});
+  for (int c = 0; c < anatomy::kNumCategories; ++c) {
+    const auto cat = static_cast<anatomy::Category>(c);
+    const double d = w.delta[static_cast<std::size_t>(c)];
+    t.add_row({anatomy::category_name(cat), fmt_seconds(d * 1e-9),
+               fmt_percent(w.loss_ns != 0.0 ? d / w.loss_ns : 0.0)});
+  }
+  t.add_row({"total loss", fmt_seconds(w.loss_ns * 1e-9), fmt_percent(1.0)});
+  t.print();
+}
+
 }  // namespace ptb

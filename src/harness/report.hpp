@@ -52,4 +52,13 @@ void print_profile(const prof::Profile& p);
 /// working sets) to stdout. No-op when the report is disabled.
 void print_sight(const sight::SightReport& r);
 
+/// Prints the speedup-loss ledger (per-category totals with shares, plus
+/// the per-phase category grid) to stdout. No-op when the ledger is
+/// disabled.
+void print_anatomy(const anatomy::Ledger& led);
+
+/// Prints the speedup-loss waterfall p·T_p − T_1 attributed per category.
+/// No-op when the waterfall is disabled.
+void print_waterfall(const anatomy::Waterfall& w);
+
 }  // namespace ptb

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "support/check.hpp"
+#include "support/provenance.hpp"
 #include "trace/metrics.hpp"
 
 namespace ptb::prof {
@@ -115,6 +116,9 @@ Profile build_profile(const Capture& cap, const CellResolver& cells,
 
 void write_profile_json(const Profile& p, std::FILE* f) {
   std::fprintf(f, "{\n  \"prof\": {\n");
+  std::fprintf(f, "    \"provenance\": ");
+  support::write_provenance_json(f, nullptr);
+  std::fprintf(f, ",\n");
   std::fprintf(f, "    \"elapsed_ns\": %" PRIu64 ",\n", p.elapsed_ns);
   std::fprintf(f, "    \"events\": %zu,\n", p.events);
   std::fprintf(f, "    \"critical_path\": {\n");

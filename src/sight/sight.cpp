@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "support/check.hpp"
+#include "support/provenance.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -498,10 +499,14 @@ SightReport SightModel::build_report(const CellResolver& cells) const {
 
 void write_sight_json(const SightReport& r, std::FILE* f) {
   std::fprintf(f, "{\n  \"sight\": {\n");
-  std::fprintf(f,
-               "    \"provenance\": {\"platform\": \"%s\", \"algorithm\": \"%s\", "
-               "\"nbodies\": %d, \"nprocs\": %d},\n",
-               r.platform.c_str(), r.algorithm.c_str(), r.nbodies, r.nprocs);
+  support::RunProvenance prov;
+  prov.platform = r.platform;
+  prov.algorithm = r.algorithm;
+  prov.nbodies = r.nbodies;
+  prov.nprocs = r.nprocs;
+  std::fprintf(f, "    \"provenance\": ");
+  support::write_provenance_json(f, &prov);
+  std::fprintf(f, ",\n");
   std::fprintf(f, "    \"window_ns\": %" PRIu64 ",\n", r.window_ns);
   std::fprintf(f, "    \"lines_observed\": %" PRIu64 ",\n", r.lines_observed);
   std::fprintf(f, "    \"reads\": %" PRIu64 ",\n", r.reads);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "anatomy/anatomy.hpp"
 #include "prof/prof.hpp"
 #include "race/race.hpp"
 #include "sight/sight.hpp"
@@ -144,6 +145,7 @@ void SimContext::reset_run_state() {
   heap_.init(nprocs_);
   for (int p = 0; p < nprocs_; ++p) heap_.push(p, 0);
   if (prof_ != nullptr) prof_->begin_run(nprocs_);
+  if (anatomy_ != nullptr) anatomy_->begin_run(nprocs_);
 }
 
 void SimContext::prof_note_charge(int p, const void* addr, const MemProcStats& before,
@@ -182,6 +184,7 @@ void SimContext::finish_proc(int p) {
   phase_mark_[idx] = clock_[idx];
   if (prof_ != nullptr)
     prof_->finish(p, clock_[idx], mem_->proc_stats(p).remote_misses);
+  if (anatomy_ != nullptr) anatomy_->phase_close(p, phase_[idx], mem_->proc_stats(p));
   leave_active(p, Status::kDone);
   maybe_release_barrier();
 }
@@ -606,6 +609,10 @@ void SimContext::op_begin_phase(int p, Phase ph) {
   stats_[idx].phase_ns[static_cast<int>(phase_[idx])] +=
       static_cast<double>(clock_[idx] - phase_mark_[idx]);
   phase_mark_[idx] = clock_[idx];
+  // The collector reads only processor p's own counters inside p's own
+  // ordered operation (always on the scheduler thread — begin_phase is never
+  // an overlappable unordered section), so it needs no overlap_ok_ entry.
+  if (anatomy_ != nullptr) anatomy_->phase_close(p, phase_[idx], mem_->proc_stats(p));
   phase_[idx] = ph;
   if (prof_ != nullptr)
     prof_->phase_begin(p, ph, clock_[idx], mem_->proc_stats(p).remote_misses);

@@ -93,6 +93,10 @@ class SightModel;
 bool default_sight_enabled();
 }  // namespace sight
 
+namespace anatomy {
+class Collector;
+}  // namespace anatomy
+
 /// How SimContext::run executes the simulated processors.
 enum class SimBackend { kFibers, kThreads, kParallel };
 
@@ -237,6 +241,14 @@ class SimContext {
   /// context.
   void set_profiler(prof::Recorder* r) { prof_ = r; }
   prof::Recorder* profiler() const { return prof_; }
+
+  /// Attaches an anatomy collector (null detaches). The collector snapshots
+  /// each processor's protocol counters when that processor closes a phase
+  /// span — on the processor's own ordered operation, touching only its own
+  /// slots — so it stays off the kParallel overlap blacklist and anatomy
+  /// runs are bit-identical in virtual time. Must outlive the context.
+  void set_anatomy(anatomy::Collector* c) { anatomy_ = c; }
+  anatomy::Collector* anatomy_collector() const { return anatomy_; }
 
   /// Runs f(SimProc&) SPMD on nprocs simulated processors, returning when
   /// all of them finish.
@@ -472,6 +484,8 @@ class SimContext {
   trace::Tracer* tracer_ = nullptr;
   /// Opt-in dependency-graph capture for ptb::prof (null = disabled).
   prof::Recorder* prof_ = nullptr;
+  /// Opt-in per-phase counter snapshots for ptb::anatomy (null = disabled).
+  anatomy::Collector* anatomy_ = nullptr;
 
   /// The Active set ordered by (virtual clock, processor id): top() is the
   /// one processor allowed past its next ordering point. Maintained by every

@@ -1,0 +1,32 @@
+// Build/run provenance stamping shared by every JSON report writer
+// (write_profile_json, write_sight_json, write_anatomy_json, bench --json).
+// One copy of the PTB_GIT_SHA / PTB_BUILD_TYPE plumbing so the stamp format
+// cannot drift between report kinds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ptb::support {
+
+/// Git SHA the binary was built from (top-level CMakeLists stamps it as a
+/// global compile definition; "unknown" outside a CMake build).
+const char* git_sha();
+
+/// CMake build type ("RelWithDebInfo", "Debug", ...; "unknown" otherwise).
+const char* build_type();
+
+/// Run identity for reports that describe one simulated configuration.
+struct RunProvenance {
+  std::string platform;
+  std::string algorithm;
+  int nbodies = 0;
+  int nprocs = 0;
+};
+
+/// Writes `{"git_sha": ..., "build_type": ..., "platform": ..., ...}` —
+/// the object only, no surrounding key, comma or newline. The run fields
+/// are omitted when `run` is null (reports with no single configuration).
+void write_provenance_json(std::FILE* f, const RunProvenance* run);
+
+}  // namespace ptb::support

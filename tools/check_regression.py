@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a fresh bench JSON against a checked-in baseline.
 
-Usage: check_regression.py {sched,mem,force} BASELINE.json NEW.json [--tolerance FRAC]
+Usage: check_regression.py {anatomy,sched,mem,force} BASELINE.json NEW.json [--tolerance FRAC]
 
 One driver for every perf-regression gate; the per-bench differences (which
 micro rows to match, which throughput metric to compare, which rows are
@@ -52,6 +52,18 @@ CONFIGS = {
             "speedup_field": "speedup",
             "describe": lambda row: "fast-path speedup",
         },
+    },
+    "anatomy": {
+        "micro_bench": "anatomy_sweep",
+        "key_fields": ("algorithm", "procs"),
+        "metric": "ledgered_runs_per_sec",
+        "unit": "ledgered runs/s",
+        # Every algorithm's ledgered-run throughput is gated.
+        "gated": lambda row: True,
+        "label": lambda row: f"{row['algorithm']:>8}/p{row['procs']}",
+        "identity_bench": "anatomy_summary",
+        "identity_message": "anatomy ledger perturbed virtual results (on vs off)",
+        "e2e": None,
     },
     "force": {
         "micro_bench": "force_micro",

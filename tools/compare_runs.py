@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Diff two ptb observability JSONs (anatomy, prof or sight) and flag
+composition shifts beyond a threshold.
+
+Usage: compare_runs.py OLD.json NEW.json [--threshold F] [--fail-on-shift]
+
+Both files must be the same kind (their top-level key: "anatomy", "prof" or
+"sight"); the kind is detected automatically. Compared compositions:
+
+  anatomy  per-run ledger category shares of p*T_p (runs matched on p) and
+           waterfall category shares of the loss
+  prof     critical-path entry shares (run start / lock handoff / barrier
+           release) of the elapsed time, and what-if speedups
+  sight    whole-run sharing-class line shares and false-sharing line counts
+
+A shift is a share that moved by more than --threshold (absolute, default
+0.05 = five percentage points; what-if speedups compare relatively). With
+--fail-on-shift the exit status is 1 when any shift was flagged, so CI can
+gate cross-run drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if len(doc) != 1:
+        sys.exit(f"{path}: not a ptb observability JSON (one top-level key expected)")
+    kind = next(iter(doc))
+    if kind not in ("anatomy", "prof", "sight"):
+        sys.exit(f"{path}: unknown kind '{kind}' (want anatomy, prof or sight)")
+    return kind, doc[kind]
+
+
+def provenance_line(doc):
+    p = doc.get("provenance", {})
+    parts = [f"{k}={p[k]}" for k in ("platform", "algorithm", "nbodies", "nprocs")
+             if k in p]
+    parts.append(f"git={p.get('git_sha', '?')}")
+    return " ".join(parts)
+
+
+class Differ:
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.shifts = 0
+
+    def share(self, label, old, new):
+        """Compare two absolute shares (fractions of a whole)."""
+        delta = new - old
+        flag = abs(delta) > self.threshold
+        self.shifts += flag
+        print(f"  {label:<42} {old:8.1%} -> {new:8.1%}  ({delta:+.1%})"
+              f"{'  SHIFT' if flag else ''}")
+
+    def ratio(self, label, old, new):
+        """Compare two positive quantities relatively."""
+        if old == 0 and new == 0:
+            return
+        rel = (new - old) / old if old else float("inf")
+        flag = abs(rel) > self.threshold
+        self.shifts += flag
+        print(f"  {label:<42} {old:10.3f} -> {new:10.3f}  ({rel:+.1%})"
+              f"{'  SHIFT' if flag else ''}")
+
+
+def cats(entries):
+    return {c["category"]: c["ns"] for c in entries}
+
+
+def diff_anatomy(old, new, d):
+    old_runs = {r["procs"]: r for r in old["runs"]}
+    for run in new["runs"]:
+        base = old_runs.get(run["procs"])
+        if base is None:
+            print(f"  p={run['procs']}: no matching run in OLD")
+            continue
+        print(f" ledger shares of p*T_p, p={run['procs']}:")
+        oc, nc = cats(base["categories"]), cats(run["categories"])
+        opt = base["procs"] * base["total_ns"] or 1.0
+        npt = run["procs"] * run["total_ns"] or 1.0
+        for c in oc:
+            d.share(c, oc[c] / opt, nc.get(c, 0.0) / npt)
+    old_wf = {w["procs"]: w for w in old.get("waterfall", [])}
+    for wf in new.get("waterfall", []):
+        base = old_wf.get(wf["procs"])
+        if base is None:
+            continue
+        print(f" waterfall shares of the loss, p={wf['procs']}:")
+        oc, nc = cats(base["deltas"]), cats(wf["deltas"])
+        ol, nl = base["loss_ns"] or 1.0, wf["loss_ns"] or 1.0
+        for c in oc:
+            d.share(c, oc[c] / ol, nc.get(c, 0.0) / nl)
+
+
+def diff_prof(old, new, d):
+    print(" critical-path entry shares of elapsed time:")
+    oe, ne = old["elapsed_ns"] or 1, new["elapsed_ns"] or 1
+    for key, label in (("via_start_ns", "run start"), ("via_lock_ns", "lock handoff"),
+                       ("via_barrier_ns", "barrier release")):
+        d.share(label, old["critical_path"][key] / oe, new["critical_path"][key] / ne)
+    old_wi = {w["scenario"]: w for w in old.get("whatif", [])}
+    new_wi = {w["scenario"]: w for w in new.get("whatif", [])}
+    if old_wi and new_wi:
+        print(" what-if predicted speedups:")
+        for name in old_wi:
+            if name in new_wi:
+                d.ratio(name, old_wi[name]["speedup"], new_wi[name]["speedup"])
+
+
+def diff_sight(old, new, d):
+    print(" sharing-class line shares (whole run):")
+    oc = {c["class"]: c["lines"] for c in old["total_classes"]}
+    nc = {c["class"]: c["lines"] for c in new["total_classes"]}
+    ot, nt = sum(oc.values()) or 1, sum(nc.values()) or 1
+    for cls in oc:
+        d.share(cls, oc[cls] / ot, nc.get(cls, 0) / nt)
+    print(" false sharing:")
+    d.ratio("falsely-shared lines", len(old.get("false_sharing", [])),
+            len(new.get("false_sharing", [])))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.05,
+                    help="flag shifts beyond this (absolute share / relative "
+                         "ratio, default 0.05)")
+    ap.add_argument("--fail-on-shift", action="store_true",
+                    help="exit 1 when any shift exceeds the threshold")
+    args = ap.parse_args()
+
+    old_kind, old = load(args.old)
+    new_kind, new = load(args.new)
+    if old_kind != new_kind:
+        sys.exit(f"cannot compare a {old_kind} JSON against a {new_kind} JSON")
+
+    print(f"comparing {old_kind} reports (threshold {args.threshold:.0%}):")
+    print(f"  OLD {provenance_line(old)}")
+    print(f"  NEW {provenance_line(new)}")
+    d = Differ(args.threshold)
+    {"anatomy": diff_anatomy, "prof": diff_prof, "sight": diff_sight}[old_kind](
+        old, new, d)
+
+    if d.shifts:
+        print(f"\n{d.shifts} composition shift(s) beyond the threshold")
+        return 1 if args.fail_on_shift else 0
+    print("\nno composition shifts beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,7 +63,7 @@ namespace {
 const char *kDeterministicDirs[] = {"src/sim", "src/mem", "src/treebuild",
                                     "src/bh", "src/rt"};
 const char *kObserverDirs[] = {"src/trace", "src/race", "src/prof",
-                               "src/sight"};
+                               "src/sight", "src/anatomy"};
 const char *kBuilderDirs[] = {"src/treebuild"};
 const char *kMemDir = "src/mem";
 
