@@ -15,6 +15,7 @@
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
 #include "treebuild/partree.hpp"
+#include "treebuild/radix.hpp"
 #include "treebuild/space.hpp"
 #include "treebuild/update.hpp"
 
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.get_int("threads", 4, "worker threads"));
   const int steps = static_cast<int>(cli.get_int("steps", 8, "time-steps"));
   const std::string alg = cli.get_string("algorithm", "SPACE",
-                                         "ORIG|LOCAL|UPDATE|PARTREE|SPACE");
+                                         algorithm_names_joined().c_str());
   const double theta = cli.get_double("theta", 1.0, "opening criterion");
   cli.finish();
 
@@ -94,6 +95,9 @@ int main(int argc, char** argv) {
       break;
     case Algorithm::kSpace:
       run<SpaceBuilder>(st, threads, steps);
+      break;
+    case Algorithm::kRadix:
+      run<RadixBuilder>(st, threads, steps);
       break;
   }
 

@@ -6,7 +6,7 @@
 // --csv the result is emitted as a single machine-readable line (with a
 // header via --csv-header), so sweeps can be scripted:
 //
-//   for a in ORIG LOCAL UPDATE PARTREE SPACE; do
+//   for a in ORIG LOCAL UPDATE PARTREE SPACE RADIX; do
 //     ./examples/ptbsim --platform typhoon0_hlrc --algorithm $a --n 16384 --csv
 //   done
 #include <cerrno>
@@ -26,10 +26,13 @@ int main(int argc, char** argv) {
   using namespace ptb;
   Cli cli(argc, argv);
   ExperimentSpec spec;
-  spec.platform = cli.get_string("platform", "typhoon0_hlrc",
-                                 "ideal|challenge|origin2000|paragon|typhoon0_hlrc|typhoon0_sc");
+  // Help strings enumerate from the same tables the lookups use, so a new
+  // platform or algorithm can never be missing from --help.
+  const std::string platform_help = PlatformSpec::names_joined();
+  const std::string algorithm_help = algorithm_names_joined();
+  spec.platform = cli.get_string("platform", "typhoon0_hlrc", platform_help.c_str());
   spec.algorithm = algorithm_from_name(
-      cli.get_string("algorithm", "SPACE", "ORIG|LOCAL|UPDATE|PARTREE|SPACE"));
+      cli.get_string("algorithm", "SPACE", algorithm_help.c_str()));
   spec.n = static_cast<int>(cli.get_int("n", 16384, "number of bodies"));
   spec.nprocs = static_cast<int>(cli.get_int("procs", 16, "simulated processors"));
   spec.warmup_steps = static_cast<int>(cli.get_int("warmup", 2, "untimed steps"));

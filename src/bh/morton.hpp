@@ -20,6 +20,22 @@ void morton_decode(std::uint64_t key, std::uint32_t& x, std::uint32_t& y, std::u
 /// Morton key of a point inside a bounding cube, quantized to 21 bits/axis.
 std::uint64_t morton_key(const Vec3& p, const Cube& root);
 
+/// Tree levels a 63-bit key can resolve: 21 octant triplets below the root.
+inline constexpr int kMortonLevels = 21;
+
+/// Octant (bit 0 = x high, matching Cube::octant_of) that a key descends
+/// into at `level` (0 = the root's children). Valid for level < kMortonLevels.
+inline int morton_octant(std::uint64_t key, int level) {
+  return static_cast<int>((key >> (3 * (kMortonLevels - 1 - level))) & 7u);
+}
+
+/// The key prefix (top 3*(level+1) bits, right-aligned) identifying the cell
+/// that contains `key` at `level`. Two bodies share a cell at `level` iff
+/// their prefixes are equal — the cell-boundary test of the RADIX builder.
+inline std::uint64_t morton_prefix(std::uint64_t key, int level) {
+  return key >> (3 * (kMortonLevels - 1 - level));
+}
+
 namespace detail {
 
 constexpr std::uint64_t spread3(std::uint64_t v) {

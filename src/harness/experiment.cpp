@@ -8,11 +8,7 @@
 #include "prof/prof.hpp"
 #include "sim/sim_rt.hpp"
 #include "support/check.hpp"
-#include "treebuild/local.hpp"
-#include "treebuild/orig.hpp"
-#include "treebuild/partree.hpp"
-#include "treebuild/space.hpp"
-#include "treebuild/update.hpp"
+#include "treebuild/dispatch.hpp"
 
 namespace ptb {
 namespace {
@@ -136,8 +132,10 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
     sm->set_object_granule("bodies", sizeof(Body));
     sm->set_object_granule("reduce", sizeof(ReduceSlot));
     for (const char* pool : {"seq.cells", "orig.cells", "local.cells",
-                             "partree.cells", "space.cells", "update.cells"})
+                             "partree.cells", "space.cells", "update.cells",
+                             "radix.cells"})
       sm->set_object_granule(pool, sizeof(Node));
+    sm->set_object_granule("radix.spos", sizeof(Vec3));
     // ALOCK bucket words are scheduler objects the protocol never charges;
     // register them observer-only so contended lock lines still classify.
     if (!st.lock_table.empty())
@@ -157,33 +155,8 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) {
   ExperimentResult out;
   {
     const RunConfig rc{spec.warmup_steps, spec.measured_steps};
-    switch (spec.algorithm) {
-      case Algorithm::kOrig: {
-        OrigBuilder b(st);
-        out.run = run_simulation(ctx, st, b, rc);
-        break;
-      }
-      case Algorithm::kLocal: {
-        LocalBuilder b(st);
-        out.run = run_simulation(ctx, st, b, rc);
-        break;
-      }
-      case Algorithm::kUpdate: {
-        UpdateBuilder b(st);
-        out.run = run_simulation(ctx, st, b, rc);
-        break;
-      }
-      case Algorithm::kPartree: {
-        PartreeBuilder b(st);
-        out.run = run_simulation(ctx, st, b, rc);
-        break;
-      }
-      case Algorithm::kSpace: {
-        SpaceBuilder b(st);
-        out.run = run_simulation(ctx, st, b, rc);
-        break;
-      }
-    }
+    with_builder(spec.algorithm, st,
+                 [&](auto& b) { out.run = run_simulation(ctx, st, b, rc); });
   }
 
   const Baseline base = baseline(spec);

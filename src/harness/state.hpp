@@ -182,6 +182,13 @@ inline constexpr double kMomentsPerChild = 12.0;
 inline constexpr double kIntegrateBody = 35.0;
 inline constexpr double kPartitionPerNode = 6.0;
 inline constexpr double kBinBody = 8.0;
+// RADIX builder: the sort/construct pipeline is streaming integer work, far
+// cheaper per element than the pointer-chasing insertion steps above.
+inline constexpr double kMortonKey = 12.0;     // quantize + 3x bit-spread
+inline constexpr double kSortStep = 6.0;       // one histogram/scatter element
+inline constexpr double kGatherBody = 4.0;     // one SoA position copy
+inline constexpr double kCellFromKeys = 24.0;  // split a sorted range (8 searches)
+inline constexpr double kLeafFromKeys = 8.0;   // emit one leaf from a key run
 }  // namespace work
 
 }  // namespace ptb

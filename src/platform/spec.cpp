@@ -137,6 +137,68 @@ PlatformSpec PlatformSpec::typhoon0_sc() {
   return s;
 }
 
+// 2020s platform models (ROADMAP item 4)
+// --------------------------------------
+// The paper's question, re-asked 25 years later, needs machines from 25 years
+// later. Constants are order-of-magnitude figures from the literature the
+// RADIX builder is grounded in, not one specific SKU:
+//   * numa2020: a ~64-core server CC-NUMA node of the kind Cornerstone
+//     (arXiv:2307.06345) uses as its CPU baseline. ~3 GHz superscalar cores
+//     (ns_per_work 0.3 ≈ 20x Challenge's R4400 per abstract work unit), 64 B
+//     lines, ~90 ns local DRAM, ~140 ns cross-socket, ~200 ns dirty 3-hop
+//     (cf. published EPYC/Xeon NUMA latency measurements), atomics resolved
+//     in the cache hierarchy (~120 ns uncontended remote CAS — ~7x cheaper
+//     relative to a miss than Origin2000's LL/SC), hundreds-of-ns tree
+//     barriers, ~4 MB effective cache per core (shared L3 slice).
+//   * simt2020: a GPU-like wide-SIMT device in the style of Tokuue &
+//     Ishiyama's tree-code timings (arXiv:2312.06102) and Cornerstone's GPU
+//     path. One "processor" models an SM-class throughput engine: enormous
+//     arithmetic rate (ns_per_work 0.05), uniform high-latency device memory
+//     (~400 ns to HBM, modeled as a flat bus protocol), 128 B coalescing
+//     granularity, NEAR-FREE atomics (~40 ns: resolved at the memory-side L2
+//     without stalling the pipe — the single biggest change from 1998), fast
+//     hardware grid barriers, and only ~128 KB of close storage per SM.
+// Both keep read_hit at 0 like the 1998 entries; only relative shapes are
+// claimed, exactly as for the paper's own machines.
+
+PlatformSpec PlatformSpec::numa2020() {
+  PlatformSpec s;
+  s.name = "numa2020";
+  s.protocol = Protocol::kDirectory;
+  s.ns_per_work = 0.3;
+  s.block_bytes = 64;
+  s.read_hit_ns = 0.0;
+  s.local_miss_ns = 90.0;
+  s.remote_miss_ns = 140.0;
+  s.dirty_miss_ns = 200.0;
+  s.inval_per_sharer_ns = 30.0;
+  s.bus_occupancy_ns = 0.0;
+  s.lock_ns = 120.0;
+  s.barrier_base_ns = 2000.0;
+  s.cache_bytes = 4u << 20;
+  s.cache_ways = 8;
+  return s;
+}
+
+PlatformSpec PlatformSpec::simt2020() {
+  PlatformSpec s;
+  s.name = "simt2020";
+  s.protocol = Protocol::kBus;  // uniform-latency device memory
+  s.ns_per_work = 0.05;
+  s.block_bytes = 128;          // coalesced transaction granularity
+  s.read_hit_ns = 0.0;
+  s.local_miss_ns = 400.0;
+  s.remote_miss_ns = 400.0;
+  s.dirty_miss_ns = 450.0;
+  s.inval_per_sharer_ns = 0.0;
+  s.bus_occupancy_ns = 1.0;     // HBM-class bandwidth: contention is light
+  s.lock_ns = 40.0;             // memory-side atomics, no pipeline stall
+  s.barrier_base_ns = 1000.0;
+  s.cache_bytes = 128u << 10;   // SM-local L1/shared storage
+  s.cache_ways = 8;
+  return s;
+}
+
 PlatformSpec PlatformSpec::by_name(const std::string& name) {
   if (name == "ideal") return ideal();
   if (name == "challenge") return challenge();
@@ -144,12 +206,24 @@ PlatformSpec PlatformSpec::by_name(const std::string& name) {
   if (name == "paragon") return paragon();
   if (name == "typhoon0_hlrc") return typhoon0_hlrc();
   if (name == "typhoon0_sc") return typhoon0_sc();
+  if (name == "numa2020") return numa2020();
+  if (name == "simt2020") return simt2020();
   PTB_CHECK_MSG(false, "unknown platform name");
   return ideal();
 }
 
 std::vector<std::string> PlatformSpec::all_names() {
-  return {"ideal", "challenge", "origin2000", "paragon", "typhoon0_hlrc", "typhoon0_sc"};
+  return {"ideal",         "challenge", "origin2000", "paragon",
+          "typhoon0_hlrc", "typhoon0_sc", "numa2020",  "simt2020"};
+}
+
+std::string PlatformSpec::names_joined(char sep) {
+  std::string out;
+  for (const std::string& n : all_names()) {
+    if (!out.empty()) out.push_back(sep);
+    out += n;
+  }
+  return out;
 }
 
 }  // namespace ptb

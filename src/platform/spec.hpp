@@ -64,11 +64,18 @@ struct PlatformSpec {
   static PlatformSpec paragon();
   static PlatformSpec typhoon0_hlrc();
   static PlatformSpec typhoon0_sc();
+  // 2020s additions (ROADMAP item 4): the machines the RADIX builder was
+  // designed for. Parameter provenance in spec.cpp and docs/MODEL.md §2.3.
+  static PlatformSpec numa2020();  // modern many-core CC-NUMA node
+  static PlatformSpec simt2020();  // GPU-like wide-SIMT device
 
   /// Lookup by name ("ideal", "challenge", "origin2000", "paragon",
-  /// "typhoon0_hlrc", "typhoon0_sc"); aborts on unknown names.
+  /// "typhoon0_hlrc", "typhoon0_sc", "numa2020", "simt2020"); aborts on
+  /// unknown names.
   static PlatformSpec by_name(const std::string& name);
   static std::vector<std::string> all_names();
+  /// "ideal|challenge|..." — the one shared platform listing for CLI help.
+  static std::string names_joined(char sep = '|');
 };
 
 }  // namespace ptb

@@ -1,0 +1,58 @@
+// The one algorithm -> builder dispatch.
+//
+// Every driver, bench and matrix test used to keep its own six-way switch
+// (and its own help-string list of names); each new algorithm meant touching
+// all of them. with_builder is the single switch: it constructs the builder
+// for `alg` over `st` and passes it to `f` as `auto&`. The exhaustive switch
+// (no default) keeps -Werror pointing at this ONE site when the enum grows.
+#pragma once
+
+#include "support/check.hpp"
+#include "treebuild/local.hpp"
+#include "treebuild/orig.hpp"
+#include "treebuild/partree.hpp"
+#include "treebuild/radix.hpp"
+#include "treebuild/space.hpp"
+#include "treebuild/types.hpp"
+#include "treebuild/update.hpp"
+
+namespace ptb {
+
+template <class F>
+void with_builder(Algorithm alg, AppState& st, F&& f) {
+  switch (alg) {
+    case Algorithm::kOrig: {
+      OrigBuilder b(st);
+      f(b);
+      return;
+    }
+    case Algorithm::kLocal: {
+      LocalBuilder b(st);
+      f(b);
+      return;
+    }
+    case Algorithm::kUpdate: {
+      UpdateBuilder b(st);
+      f(b);
+      return;
+    }
+    case Algorithm::kPartree: {
+      PartreeBuilder b(st);
+      f(b);
+      return;
+    }
+    case Algorithm::kSpace: {
+      SpaceBuilder b(st);
+      f(b);
+      return;
+    }
+    case Algorithm::kRadix: {
+      RadixBuilder b(st);
+      f(b);
+      return;
+    }
+  }
+  PTB_CHECK_MSG(false, "unknown algorithm");
+}
+
+}  // namespace ptb

@@ -1,0 +1,475 @@
+// RADIX — the 2020s answer to the paper's question (ROADMAP item 4).
+//
+// Cornerstone (arXiv:2307.06345) and GOTHIC-style GPU codes (arXiv:2312.06102)
+// build octrees the opposite way from every 1998 algorithm: compute a Morton
+// (space-filling-curve) key per body, sort the keys with a fully-parallel
+// radix sort, and derive the tree bottom-up from key prefixes — no
+// fine-grained locking anywhere, only barriers and one fetch&add work queue.
+// The pipeline:
+//
+//   1. keys     — every processor quantizes its slice of bodies to 63-bit
+//                 Morton keys (21 bits/axis; bh/morton.hpp).
+//   2. sort     — 8-pass LSD radix sort (8-bit digits) over (key, body-id)
+//                 pairs. Per pass: per-processor histogram of its slice,
+//                 barrier, REPLICATED stable prefix-sum offsets (offset of
+//                 digit d for processor q = all counts of smaller digits +
+//                 counts of d from smaller-ranked processors — a pure
+//                 function of the histograms, so the permutation is
+//                 timing-independent), scatter, barrier. Histogram and
+//                 scatter are unordered sections: the parallel backend and
+//                 the native runtimes get a build phase that actually runs
+//                 host-concurrently.
+//   3. gather   — positions are permuted into Morton order (spos), turning
+//                 every later body-data read into a contiguous stream
+//                 (annotate::PermutationView charges them as single spans).
+//   4. segment  — all processors replicate a top-down split of the sorted
+//                 key range (binary searches on octant bits) until segments
+//                 hold <= threshold bodies; processor 0 materializes the
+//                 upper cells exactly like SPACE's partitioning tree.
+//   5. build    — segments are claimed dynamically through one fetch&add
+//                 cursor (largest first); each owner emits its subtree
+//                 top-down from the sorted keys and attaches it to a
+//                 distinct child slot. No locks: every write target is
+//                 either private or a slot no other processor touches.
+//
+// Keys resolve 21 levels; below that (> leaf_cap bodies inside one 2^-21
+// quantum) the builder falls back to geometric splitting of the (identical-
+// key) run, which reproduces the reference tree's coincident-body handling.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bh/morton.hpp"
+#include "mem/region_table.hpp"
+#include "treebuild/annotate.hpp"
+#include "treebuild/builder_common.hpp"
+
+namespace ptb {
+
+class RadixBuilder {
+ public:
+  static constexpr Algorithm kAlgorithm = Algorithm::kRadix;
+
+  static constexpr int kPasses = 8;    // 8 digits x 8 bits cover 63-bit keys
+  static constexpr int kDigits = 256;  // one pass digit
+
+  explicit RadixBuilder(AppState& st) : st_(&st) {
+    const auto n = static_cast<std::size_t>(st.cfg.n);
+    const auto np = static_cast<std::size_t>(st.nprocs);
+    for (auto& pool : st.storage.per_proc)
+      pool.init(proc_pool_capacity(st.cfg.n, st.nprocs));
+    keys_[0].assign(n, 0);
+    keys_[1].assign(n, 0);
+    ids_[0].assign(n, 0);
+    ids_[1].assign(n, 0);
+    spos_.assign(n, Vec3{});
+    hist_.assign(np * kDigits, 0);
+    // Identity positions for the permutation-view span charges (host-only,
+    // read-shared across processors, never mutated).
+    posv_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) posv_[i] = static_cast<std::int32_t>(i);
+    cursor_ = make_aligned_array<std::atomic<std::int64_t>>(1);
+  }
+
+  template <class Ctx>
+  void register_regions(Ctx& ctx) {
+    const auto np = static_cast<std::size_t>(st_->nprocs);
+    for (int p = 0; p < st_->nprocs; ++p) {
+      auto& pool = st_->storage.per_proc[static_cast<std::size_t>(p)];
+      ctx.register_region(pool.base(), pool.size_bytes(), HomePolicy::kFixed, p,
+                          "radix.cells.p" + std::to_string(p));
+    }
+    for (int w = 0; w < 2; ++w) {
+      ctx.register_region(keys_[w].data(), keys_[w].size() * sizeof(std::uint64_t),
+                          HomePolicy::kProcStriped, 0, "radix.keys" + std::to_string(w));
+      ctx.register_region(ids_[w].data(), ids_[w].size() * sizeof(std::int32_t),
+                          HomePolicy::kProcStriped, 0, "radix.ids" + std::to_string(w));
+    }
+    ctx.register_region(spos_.data(), spos_.size() * sizeof(Vec3),
+                        HomePolicy::kProcStriped, 0, "radix.spos");
+    ctx.register_region(hist_.data(), np * kDigits * sizeof(std::int64_t),
+                        HomePolicy::kProcStriped, 0, "radix.hist");
+    ctx.register_region(cursor_.get(), sizeof(std::atomic<std::int64_t>),
+                        HomePolicy::kFixed, 0, "radix.cursor");
+  }
+
+  void reset() {}
+
+  template <class RT>
+  void build(RT& rt) {
+    AppState& st = *st_;
+    const int p = rt.self();
+    const int np = rt.nprocs();
+    const auto pi = static_cast<std::size_t>(p);
+    const std::int64_t n = st.cfg.n;
+    const int threshold =
+        std::max(st.cfg.effective_space_threshold(np), st.cfg.leaf_cap);
+    // Fixed array slice of this processor (same split for keys and sort).
+    const std::int64_t lo = n * p / np;
+    const std::int64_t hi = n * (p + 1) / np;
+    const std::int64_t len = hi - lo;
+
+    const Cube rc = reduce_root_cube(rt, st);
+    st.tree.created[pi].clear();
+    rt.barrier();
+    ProcAlloc alloc = make_alloc(p);
+
+    Node* root = nullptr;
+    if (p == 0) {
+      for (auto& pool : st_->storage.per_proc) pool.reset();
+      cursor_[0].store(0, std::memory_order_relaxed);
+      rt.write(cursor_.get(), sizeof(std::int64_t));
+      if (n > threshold) {
+        // The root is the first "upper" cell (it always splits).
+        root = alloc_node(rt, alloc);
+        root->init_leaf(rc, nullptr, 0, 0);
+        root->to_cell();
+        rt.write(root, 64);
+      }
+    }
+    if (n > threshold) {
+      root = publish_root(rt, st, rc, root);
+    } else {
+      rt.barrier();
+    }
+
+    // --- 1. per-processor Morton keys over the id slice [lo, hi) ---
+    {
+      std::uint64_t* keys = keys_[0].data();
+      std::int32_t* ids = ids_[0].data();
+      for (std::int64_t i = lo; i < hi; ++i) ids[i] = static_cast<std::int32_t>(i);
+      rt.unordered([&] {
+        std::int64_t i = lo;
+        annotate::read_bodies_spanned(
+            rt, st, ids + lo, static_cast<std::size_t>(len), sizeof(Vec3), -1,
+            [&](std::int32_t bi) {
+              keys[i++] = morton_key(st.bodies[static_cast<std::size_t>(bi)].pos, rc);
+            });
+        rt.compute_n(work::kMortonKey, static_cast<std::uint64_t>(len));
+      });
+      if (len > 0) {
+        rt.write(keys + lo, static_cast<std::size_t>(len) * sizeof(std::uint64_t));
+        rt.write(ids + lo, static_cast<std::size_t>(len) * sizeof(std::int32_t));
+      }
+    }
+
+    // --- 2. fully-parallel stable LSD radix sort ---
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const int src = pass & 1;
+      const std::uint64_t* skeys = keys_[src].data();
+      const std::int32_t* sids = ids_[src].data();
+      std::uint64_t* dkeys = keys_[1 - src].data();
+      std::int32_t* dids = ids_[1 - src].data();
+      const int shift = 8 * pass;
+
+      // Histogram of my slice (unordered: reads my slice, fills my row).
+      std::int64_t* row = hist_.data() + pi * kDigits;
+      std::fill(row, row + kDigits, 0);
+      rt.unordered([&] {
+        if (len > 0) rt.read_shared_span(skeys + lo, 8, 8, static_cast<std::size_t>(len));
+        for (std::int64_t i = lo; i < hi; ++i)
+          ++row[(skeys[i] >> shift) & (kDigits - 1)];
+        rt.compute_n(work::kSortStep, static_cast<std::uint64_t>(len));
+      });
+      rt.write(row, kDigits * sizeof(std::int64_t));
+      rt.barrier();
+
+      // Replicated stable offsets: a pure function of the histograms, so the
+      // output permutation is identical no matter how execution interleaves.
+      std::int64_t off[kDigits];
+      {
+        std::int64_t total[kDigits] = {};
+        std::int64_t below[kDigits] = {};
+        for (int q = 0; q < np; ++q) {
+          const std::int64_t* qrow = hist_.data() + static_cast<std::size_t>(q) * kDigits;
+          rt.read(qrow, kDigits * sizeof(std::int64_t));
+          rt.compute(static_cast<double>(kDigits));
+          for (int d = 0; d < kDigits; ++d) {
+            if (q < p) below[d] += qrow[d];
+            total[d] += qrow[d];
+          }
+        }
+        std::int64_t base = 0;
+        for (int d = 0; d < kDigits; ++d) {
+          off[d] = base + below[d];
+          base += total[d];
+        }
+      }
+
+      // Scatter (unordered: reads my slice, writes processor-disjoint
+      // destinations). Ordered write charges are deferred past the section
+      // and coalesced into one span per digit run.
+      std::int64_t run_start[kDigits];
+      std::copy(off, off + kDigits, run_start);
+      rt.unordered([&] {
+        if (len > 0) {
+          rt.read_shared_span(skeys + lo, 8, 8, static_cast<std::size_t>(len));
+          rt.read_shared_span(sids + lo, 4, 4, static_cast<std::size_t>(len));
+        }
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto d = static_cast<std::size_t>((skeys[i] >> shift) & (kDigits - 1));
+          dkeys[off[d]] = skeys[i];
+          dids[off[d]] = sids[i];
+          ++off[d];
+        }
+        rt.compute_n(work::kSortStep, static_cast<std::uint64_t>(len));
+      });
+      for (int d = 0; d < kDigits; ++d) {
+        const std::int64_t rl = off[d] - run_start[d];
+        if (rl == 0) continue;
+        rt.write(dkeys + run_start[d], static_cast<std::size_t>(rl) * sizeof(std::uint64_t));
+        rt.write(dids + run_start[d], static_cast<std::size_t>(rl) * sizeof(std::int32_t));
+      }
+      rt.barrier();
+    }
+    // kPasses is even, so the sorted pairs are back in buffer 0.
+    std::uint64_t* keys = keys_[0].data();
+    std::int32_t* ids = ids_[0].data();
+
+    // --- 3. permute positions into Morton order (SoA gather) ---
+    {
+      Vec3* spos = spos_.data();
+      rt.unordered([&] {
+        std::int64_t i = lo;
+        annotate::read_bodies_spanned(
+            rt, st, ids + lo, static_cast<std::size_t>(len), sizeof(Vec3), -1,
+            [&](std::int32_t bi) {
+              spos[i++] = st.bodies[static_cast<std::size_t>(bi)].pos;
+            });
+        rt.compute_n(work::kGatherBody, static_cast<std::uint64_t>(len));
+      });
+      if (len > 0) rt.write(spos + lo, static_cast<std::size_t>(len) * sizeof(Vec3));
+    }
+    rt.barrier();
+
+    // --- 4. replicated segmentation of the sorted range + upper cells ---
+    struct Upper {
+      std::int32_t parent;  // index into uppers (-1: none; only uppers[0])
+      std::int32_t octant;
+      Cube cube;
+      int level;
+      Node* node;
+    };
+    struct Seg {
+      std::int32_t parent;  // upper-cell index (-1: the segment IS the tree)
+      std::int32_t octant;
+      Cube cube;
+      int level;
+      std::int64_t b, e;
+    };
+    std::vector<Upper> uppers;
+    std::vector<Seg> segs;
+    {
+      // First sorted index in [b, e) whose octant bits at `level` exceed o.
+      auto upper_bound_octant = [&](std::int64_t b, std::int64_t e, int level, int o) {
+        while (b < e) {
+          const std::int64_t m = b + (e - b) / 2;
+          rt.read_shared(&keys[m], sizeof(std::uint64_t));
+          rt.compute(work::kSortStep);
+          if (morton_octant(keys[m], level) <= o)
+            b = m + 1;
+          else
+            e = m;
+        }
+        return b;
+      };
+      struct Todo {
+        std::int32_t parent;
+        std::int32_t octant;
+        Cube cube;
+        int level;
+        std::int64_t b, e;
+      };
+      std::vector<Todo> stack;
+      stack.push_back(Todo{-1, 0, rc, 0, 0, n});
+      while (!stack.empty()) {
+        const Todo t = stack.back();
+        stack.pop_back();
+        if (t.e - t.b > threshold && t.level < kMortonLevels) {
+          const auto idx = static_cast<std::int32_t>(uppers.size());
+          uppers.push_back(Upper{t.parent, t.octant, t.cube, t.level, nullptr});
+          std::int64_t b = t.b;
+          // Push children in reverse so they pop in octant order (the exact
+          // visit order does not matter — only that it is deterministic and
+          // parents precede children, which holds since idx < any child idx).
+          Todo kids[8];
+          int nk = 0;
+          for (int o = 0; o < 8; ++o) {
+            const std::int64_t e = upper_bound_octant(b, t.e, t.level, o);
+            if (e > b)
+              kids[nk++] = Todo{idx, o, t.cube.child(o), t.level + 1, b, e};
+            b = e;
+          }
+          for (int k = nk - 1; k >= 0; --k) stack.push_back(kids[k]);
+        } else {
+          segs.push_back(Seg{t.parent, t.octant, t.cube, t.level, t.b, t.e});
+        }
+      }
+    }
+    if (!uppers.empty()) uppers[0].node = root;
+    if (p == 0) {
+      for (std::size_t k = 1; k < uppers.size(); ++k) {
+        Upper& u = uppers[k];
+        Node* parent = uppers[static_cast<std::size_t>(u.parent)].node;
+        Node* cell = alloc_node(rt, alloc);
+        cell->init_leaf(u.cube, parent, u.level, 0, u.octant);
+        cell->to_cell();
+        rt.write(cell, 64);
+        parent->set_child(u.octant, cell);
+        rt.write(&parent->child[u.octant], sizeof(Node*));
+        u.node = cell;
+      }
+    }
+    rt.barrier();
+    if (p != 0) {
+      for (std::size_t k = 1; k < uppers.size(); ++k) {
+        Upper& u = uppers[k];
+        Node* parent = uppers[static_cast<std::size_t>(u.parent)].node;
+        rt.read(&parent->child[u.octant], sizeof(Node*));
+        u.node = parent->get_child(u.octant);
+        PTB_CHECK(u.node != nullptr);
+      }
+    }
+
+    // --- 5. dynamic segment claiming (largest first) + lock-free build ---
+    std::vector<std::size_t> order(segs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (segs[a].e - segs[a].b != segs[b].e - segs[b].b)
+        return segs[a].e - segs[a].b > segs[b].e - segs[b].b;
+      return a < b;
+    });
+    rt.compute(static_cast<double>(segs.size()) * 2.0);
+
+    const InsertEnv env{&st.cfg, st.bodies.data(), &st, st.tree.body_leaf.get(), false};
+    for (;;) {
+      const std::int64_t k = rt.fetch_add(cursor_[0], 1);
+      if (k >= static_cast<std::int64_t>(segs.size())) break;
+      const Seg& s = segs[order[static_cast<std::size_t>(k)]];
+      // The segment's keys/ids/positions are three contiguous streams — the
+      // locality the sort bought. Positions go through the permutation view
+      // (sorted index == charge slot, so the whole segment is one span).
+      const std::int64_t sl = s.e - s.b;
+      if (sl > 0) {
+        rt.read_shared_span(keys + s.b, 8, 8, static_cast<std::size_t>(sl));
+        const annotate::PermutationView pview{spos_.data(), sizeof(Vec3)};
+        annotate::read_view_spanned(rt, pview, posv_.data() + s.b,
+                                    static_cast<std::size_t>(sl), sizeof(Vec3), -1,
+                                    [](std::int32_t) {});
+      }
+      Node* parent = s.parent >= 0 ? uppers[static_cast<std::size_t>(s.parent)].node : nullptr;
+      Node* sub = build_range(rt, env, alloc, parent, s.cube, s.level, s.octant, s.b, s.e);
+      if (parent == nullptr) {
+        // Whole space in one segment: the subtree IS the tree.
+        st.tree.root = sub;
+        st.tree.root_cube = rc;
+        rt.write(&st.tree.root, sizeof(Node*) + sizeof(Cube));
+      } else {
+        parent->set_child(s.octant, sub);
+        rt.write(&parent->child[s.octant], sizeof(Node*));
+      }
+    }
+  }
+
+  std::vector<NodePool>& pools() { return st_->storage.per_proc; }
+
+ private:
+  ProcAlloc make_alloc(int p) {
+    ProcAlloc a;
+    a.proc = p;
+    a.pool = &st_->storage.per_proc[static_cast<std::size_t>(p)];
+    a.created = &st_->tree.created[static_cast<std::size_t>(p)];
+    return a;
+  }
+
+  /// Emits the subtree over sorted range [b, e) top-down. Splits by key bits
+  /// while they last, geometrically below kMortonLevels (identical keys).
+  /// Matches the reference shape exactly: a node is a leaf iff its count is
+  /// <= leaf_cap or it sits at max_level.
+  template <class RT>
+  Node* build_range(RT& rt, const InsertEnv& env, ProcAlloc& alloc, Node* parent,
+                    const Cube& cube, int level, int octant, std::int64_t b,
+                    std::int64_t e) {
+    AppState& st = *st_;
+    std::uint64_t* keys = keys_[0].data();
+    std::int32_t* ids = ids_[0].data();
+    Node* nd = alloc_node(rt, alloc);
+    nd->init_leaf(cube, parent, level, alloc.proc, octant);
+    if (e - b <= st.cfg.leaf_cap || level >= st.cfg.max_level) {
+      PTB_CHECK_MSG(e - b <= kLeafCapacity,
+                    "too many coincident bodies for kLeafCapacity at max_level");
+      nd->nbodies = static_cast<std::int32_t>(e - b);
+      for (std::int64_t i = b; i < e; ++i)
+        nd->bodies[i - b] = ids[i];
+      rt.write(nd, 64);
+      rt.compute(work::kLeafFromKeys +
+                 work::kSortStep * static_cast<double>(e - b));
+      for (std::int64_t i = b; i < e; ++i) detail::note_leaf(rt, env, ids[i], nd);
+      return nd;
+    }
+    nd->to_cell();
+    rt.write(nd, 64);
+    rt.compute(work::kCellFromKeys);
+    std::int64_t cb[9];
+    if (level < kMortonLevels) {
+      // Key-bit split: children are maximal runs of equal octant bits.
+      cb[0] = b;
+      for (int o = 0; o < 8; ++o) {
+        std::int64_t sb = cb[o], se = e;
+        while (sb < se) {
+          const std::int64_t m = sb + (se - sb) / 2;
+          if (morton_octant(keys[m], level) <= o)
+            sb = m + 1;
+          else
+            se = m;
+        }
+        cb[o + 1] = sb;
+      }
+    } else {
+      // All keys in [b, e) are identical (coincident within one quantum):
+      // stable-reorder the owner's run geometrically and keep recursing.
+      std::vector<std::int32_t> bid[8];
+      std::vector<Vec3> bpos[8];
+      Vec3* spos = spos_.data();
+      for (std::int64_t i = b; i < e; ++i) {
+        const int o = cube.octant_of(spos[i]);
+        bid[o].push_back(ids[i]);
+        bpos[o].push_back(spos[i]);
+        rt.compute(work::kSortStep);
+      }
+      std::int64_t w = b;
+      cb[0] = b;
+      for (int o = 0; o < 8; ++o) {
+        for (std::size_t i = 0; i < bid[o].size(); ++i, ++w) {
+          ids[w] = bid[o][i];
+          spos[w] = bpos[o][i];
+        }
+        cb[o + 1] = w;
+      }
+      if (e > b) {
+        rt.write(ids + b, static_cast<std::size_t>(e - b) * sizeof(std::int32_t));
+        rt.write(spos_.data() + b, static_cast<std::size_t>(e - b) * sizeof(Vec3));
+      }
+    }
+    for (int o = 0; o < 8; ++o) {
+      if (cb[o + 1] == cb[o]) continue;
+      Node* child = build_range(rt, env, alloc, nd, cube.child(o), level + 1, o,
+                                cb[o], cb[o + 1]);
+      nd->set_child(o, child, std::memory_order_relaxed);
+      rt.write(&nd->child[o], sizeof(Node*));
+    }
+    return nd;
+  }
+
+  AppState* st_;
+  AlignedVec<std::uint64_t> keys_[2];
+  AlignedVec<std::int32_t> ids_[2];
+  AlignedVec<Vec3> spos_;
+  AlignedVec<std::int64_t> hist_;
+  std::vector<std::int32_t> posv_;
+  AlignedArrayPtr<std::atomic<std::int64_t>> cursor_;
+};
+
+}  // namespace ptb

@@ -16,6 +16,8 @@ const char* algorithm_name(Algorithm a) {
       return "PARTREE";
     case Algorithm::kSpace:
       return "SPACE";
+    case Algorithm::kRadix:
+      return "RADIX";
   }
   return "?";
 }
@@ -29,13 +31,23 @@ Algorithm algorithm_from_name(const std::string& name) {
   if (name == "update") return Algorithm::kUpdate;
   if (name == "partree") return Algorithm::kPartree;
   if (name == "space") return Algorithm::kSpace;
+  if (name == "radix") return Algorithm::kRadix;
   PTB_CHECK_MSG(false, "unknown algorithm name");
   return Algorithm::kOrig;
 }
 
 std::vector<Algorithm> all_algorithms() {
-  return {Algorithm::kOrig, Algorithm::kLocal, Algorithm::kUpdate, Algorithm::kPartree,
-          Algorithm::kSpace};
+  return {Algorithm::kOrig,    Algorithm::kLocal, Algorithm::kUpdate,
+          Algorithm::kPartree, Algorithm::kSpace, Algorithm::kRadix};
+}
+
+std::string algorithm_names_joined(char sep) {
+  std::string out;
+  for (Algorithm a : all_algorithms()) {
+    if (!out.empty()) out.push_back(sep);
+    out += algorithm_name(a);
+  }
+  return out;
 }
 
 }  // namespace ptb

@@ -1,4 +1,5 @@
-// The five parallel tree-building algorithms studied by the paper.
+// The five parallel tree-building algorithms studied by the paper, plus
+// RADIX — the 2020s-era Morton-sort builder the modern platforms favour.
 #pragma once
 
 #include <string>
@@ -14,12 +15,19 @@ enum class Algorithm : int {
   kPartree = 3,  // §2.4 local trees merged subtree-wise into the global tree
   kSpace = 4,    // §2.5 the paper's new algorithm: separate spatial
                  //      partition for tree building; zero locks
+  kRadix = 5,    // beyond the paper: fully-parallel Morton-key radix sort +
+                 //      lock-free construction from sorted keys (Cornerstone
+                 //      lineage, arXiv:2307.06345); zero locks, cheap atomics
 };
 
-inline constexpr int kNumAlgorithms = 5;
+inline constexpr int kNumAlgorithms = 6;
 
 const char* algorithm_name(Algorithm a);
 Algorithm algorithm_from_name(const std::string& name);
 std::vector<Algorithm> all_algorithms();
+
+/// "ORIG|LOCAL|UPDATE|PARTREE|SPACE|RADIX" — the one shared builder listing
+/// for CLI help strings (ptbsim, benches); never hand-maintain a copy.
+std::string algorithm_names_joined(char sep = '|');
 
 }  // namespace ptb

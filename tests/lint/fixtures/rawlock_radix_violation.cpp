@@ -1,0 +1,22 @@
+// Planted violations proving a nominally lock-free builder is still scanned
+// by the raw-lock check: RADIX (src/treebuild/radix.hpp) advertises zero
+// detail::maybe_lock sites, and this fixture shows that if someone later
+// sneaks a raw rt.lock() into a file on the same policy path, the linter
+// flags it rather than trusting the "lock-free" label. Never compiled.
+// ptblint-path: src/treebuild/fixture_radix_rawlock.cpp
+// ptblint-expect: raw-lock 2 0
+
+namespace ptb {
+
+struct FakeRt {
+  void lock(const void*) {}
+  void unlock(const void*) {}
+};
+
+template <class RT>
+void claim_segment_badly(RT& rt, const void* cursor_lock) {
+  rt.lock(cursor_lock);    // finding: a "lock-free" builder growing a lock
+  rt.unlock(cursor_lock);  // finding: ditto
+}
+
+}  // namespace ptb

@@ -1,0 +1,23 @@
+// Planted violations proving src/platform is covered by the wall-clock
+// check: platform specs feed every virtual-time charge, so "calibrating"
+// them from host time or entropy would silently break run-to-run
+// determinism. Never compiled — linted only.
+// ptblint-path: src/platform/fixture_wallclock.cpp
+// ptblint-expect: wall-clock 2 0
+#include <chrono>
+#include <random>
+
+namespace ptb {
+
+double bad_calibrated_ns_per_work() {
+  // Finding: host-clock "calibration" of a platform constant.
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count() % 10);
+}
+
+double bad_jittered_latency(double base_ns) {
+  std::random_device rd;  // finding: host entropy in a platform model
+  return base_ns + static_cast<double>(rd() % 8);
+}
+
+}  // namespace ptb

@@ -51,7 +51,8 @@ double cell_sum(const Ledger& led, int p, Phase ph) {
 // p * T_p bit-exactly, per phase and in total.
 TEST(AnatomyLedger, ExactAcrossTheAlgorithmPlatformMatrix) {
   for (const char* platform : {"ideal", "challenge", "origin2000", "paragon",
-                               "typhoon0_hlrc", "typhoon0_sc"}) {
+                               "typhoon0_hlrc", "typhoon0_sc", "numa2020",
+                               "simt2020"}) {
     for (Algorithm alg : all_algorithms()) {
       ExperimentRunner runner;
       const ExperimentResult r = runner.run(anatomy_spec(platform, alg, 600, 4));
@@ -92,6 +93,18 @@ TEST(AnatomyLedger, SpaceLedgersZeroLockLossCycles) {
   const ExperimentResult orig =
       runner.run(anatomy_spec("challenge", Algorithm::kOrig, 2048, 4));
   EXPECT_GT(orig.anatomy.category_ns(Category::kLockWait), 0.0);
+}
+
+// RADIX makes the same guarantee by construction — no detail::maybe_lock
+// sites at all, only fetch_add — on the 1998 machines AND the 2020s ones.
+TEST(AnatomyLedger, RadixLedgersZeroLockLossCycles) {
+  ExperimentRunner runner;
+  for (const char* platform : {"challenge", "numa2020", "simt2020"}) {
+    const ExperimentResult r =
+        runner.run(anatomy_spec(platform, Algorithm::kRadix, 2048, 4));
+    ASSERT_TRUE(r.anatomy.enabled) << platform;
+    EXPECT_EQ(r.anatomy.category_ns(Category::kLockWait), 0.0) << platform;
+  }
 }
 
 // --- bit-identity ---

@@ -1,4 +1,4 @@
-// The five parallel tree builders: structural invariants, equivalence with
+// The six parallel tree builders: structural invariants, equivalence with
 // the sequential reference tree, creator bookkeeping, body->leaf map.
 // Parameterized sweep over algorithm x processor count x size x leaf_cap.
 #include <gtest/gtest.h>
@@ -9,11 +9,7 @@
 #include "bh/verify.hpp"
 #include "harness/app.hpp"
 #include "sim/sim_rt.hpp"
-#include "treebuild/local.hpp"
-#include "treebuild/orig.hpp"
-#include "treebuild/partree.hpp"
-#include "treebuild/space.hpp"
-#include "treebuild/update.hpp"
+#include "treebuild/dispatch.hpp"
 
 namespace ptb {
 namespace {
@@ -36,41 +32,14 @@ std::string case_name(const ::testing::TestParamInfo<BuildCase>& info) {
 void run_build(Algorithm alg, AppState& st) {
   SimContext ctx(PlatformSpec::ideal(), st.nprocs);
   register_common_regions(ctx, st);
-  auto go = [&](auto& builder) {
+  with_builder(alg, st, [&](auto& builder) {
     builder.register_regions(ctx);
     ctx.run([&](SimProc& rt) {
       builder.build(rt);
       rt.barrier();
       moments_phase(rt, st);
     });
-  };
-  switch (alg) {
-    case Algorithm::kOrig: {
-      OrigBuilder b(st);
-      go(b);
-      break;
-    }
-    case Algorithm::kLocal: {
-      LocalBuilder b(st);
-      go(b);
-      break;
-    }
-    case Algorithm::kUpdate: {
-      UpdateBuilder b(st);
-      go(b);
-      break;
-    }
-    case Algorithm::kPartree: {
-      PartreeBuilder b(st);
-      go(b);
-      break;
-    }
-    case Algorithm::kSpace: {
-      SpaceBuilder b(st);
-      go(b);
-      break;
-    }
-  }
+  });
 }
 
 /// Ground-truth tree over the same bodies.
@@ -263,7 +232,7 @@ TEST(BuilderLocks, SpaceUsesNoLocksOrigUsesMany) {
     SimContext ctx(PlatformSpec::ideal(), 8);
     register_common_regions(ctx, st);
     std::uint64_t locks = 0;
-    auto go = [&](auto& b) {
+    with_builder(alg, st, [&](auto& b) {
       b.register_regions(ctx);
       ctx.run([&](SimProc& rt) {
         timestep(rt, st, b, /*measured=*/false);
@@ -274,39 +243,59 @@ TEST(BuilderLocks, SpaceUsesNoLocksOrigUsesMany) {
       });
       for (const auto& ps : ctx.stats())
         locks += ps.lock_acquires[static_cast<int>(Phase::kTreeBuild)];
-    };
-    switch (alg) {
-      case Algorithm::kOrig: {
-        OrigBuilder b(st);
-        go(b);
-        break;
-      }
-      case Algorithm::kLocal: {
-        LocalBuilder b(st);
-        go(b);
-        break;
-      }
-      case Algorithm::kPartree: {
-        PartreeBuilder b(st);
-        go(b);
-        break;
-      }
-      case Algorithm::kSpace: {
-        SpaceBuilder b(st);
-        go(b);
-        break;
-      }
-      default:
-        break;
-    }
+    });
     return locks;
   };
   const auto orig = locks_of(Algorithm::kOrig);
   const auto partree = locks_of(Algorithm::kPartree);
   const auto space = locks_of(Algorithm::kSpace);
+  const auto radix = locks_of(Algorithm::kRadix);
   EXPECT_GT(orig, 0u);
   EXPECT_LT(partree, orig / 2) << "PARTREE must lock far less than ORIG";
   EXPECT_EQ(space, 0u) << "SPACE must be entirely lock-free";
+  EXPECT_EQ(radix, 0u) << "RADIX must be entirely lock-free";
+}
+
+TEST(RadixBuilderEdge, SingleSegmentWhenSmall) {
+  // n below the segmentation threshold: no upper cells; the one claimed
+  // segment builds the whole tree (root may even be a leaf).
+  BHConfig cfg;
+  cfg.n = 100;
+  cfg.space_threshold = 1000;
+  AppState st = make_app_state(cfg, 4);
+  run_build(Algorithm::kRadix, st);
+  ASSERT_TRUE(check_tree(st.tree.root, st.bodies, st.cfg).ok);
+  EXPECT_EQ(canonical_hash(st.tree.root, st.bodies), reference_hash(st));
+}
+
+TEST(RadixBuilderEdge, TinyThresholdManySegments) {
+  BHConfig cfg;
+  cfg.n = 2000;
+  cfg.space_threshold = 16;  // deep upper tree, many claimed segments
+  AppState st = make_app_state(cfg, 4);
+  run_build(Algorithm::kRadix, st);
+  ASSERT_TRUE(check_tree(st.tree.root, st.bodies, st.cfg).ok);
+  EXPECT_EQ(canonical_hash(st.tree.root, st.bodies), reference_hash(st));
+}
+
+TEST(RadixBuilderEdge, CoincidentBodiesFallBackGeometrically) {
+  // More bodies than leaf_cap inside one 2^-21 Morton quantum: the key bits
+  // run out and the builder must split the identical-key run geometrically,
+  // matching the reference's coincident-body handling.
+  BHConfig cfg;
+  cfg.n = 64;
+  cfg.leaf_cap = 2;
+  AppState st = make_app_state(cfg, 4);
+  // Collapse bodies into two clusters much tighter than the key quantum.
+  for (std::size_t i = 0; i < st.bodies.size(); ++i) {
+    const double eps = 1e-12 * static_cast<double>(i % 5);
+    const double base = (i % 2 == 0) ? 0.25 : -0.25;
+    st.bodies[i].pos = Vec3{base + eps, base - eps, base + 2.0 * eps};
+  }
+  run_build(Algorithm::kRadix, st);
+  const TreeCheckResult res = check_tree(st.tree.root, st.bodies, st.cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(canonical_hash(st.tree.root, st.bodies), reference_hash(st));
 }
 
 }  // namespace

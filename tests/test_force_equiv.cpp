@@ -27,6 +27,7 @@
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
 #include "treebuild/partree.hpp"
+#include "treebuild/radix.hpp"
 #include "treebuild/space.hpp"
 #include "treebuild/update.hpp"
 
@@ -131,6 +132,8 @@ std::vector<PathRun> run_algorithm(Algorithm alg, const std::string& platform, i
       return run_paths<PartreeBuilder>(platform, n, nprocs, opts);
     case Algorithm::kSpace:
       return run_paths<SpaceBuilder>(platform, n, nprocs, opts);
+    case Algorithm::kRadix:
+      return run_paths<RadixBuilder>(platform, n, nprocs, opts);
   }
   PTB_CHECK_MSG(false, "unhandled algorithm");
   return {};

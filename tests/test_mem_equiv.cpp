@@ -24,6 +24,7 @@
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
 #include "treebuild/partree.hpp"
+#include "treebuild/radix.hpp"
 #include "treebuild/space.hpp"
 #include "treebuild/update.hpp"
 
@@ -121,6 +122,8 @@ std::vector<PathRun> run_algorithm(Algorithm alg, const std::string& platform, i
       return run_paths<PartreeBuilder>(platform, n, nprocs, opts);
     case Algorithm::kSpace:
       return run_paths<SpaceBuilder>(platform, n, nprocs, opts);
+    case Algorithm::kRadix:
+      return run_paths<RadixBuilder>(platform, n, nprocs, opts);
   }
   PTB_CHECK_MSG(false, "unhandled algorithm");
   return {};
@@ -165,7 +168,8 @@ std::vector<EquivCase> all_cases() {
   std::vector<EquivCase> cases;
   for (Algorithm alg : all_algorithms())
     for (const char* platform :
-         {"challenge", "origin2000", "paragon", "typhoon0_hlrc", "typhoon0_sc"})
+         {"challenge", "origin2000", "paragon", "typhoon0_hlrc", "typhoon0_sc",
+          "numa2020", "simt2020"})
       cases.push_back(EquivCase{alg, platform});
   return cases;
 }

@@ -28,6 +28,7 @@
 #include "treebuild/local.hpp"
 #include "treebuild/orig.hpp"
 #include "treebuild/partree.hpp"
+#include "treebuild/radix.hpp"
 #include "treebuild/space.hpp"
 #include "treebuild/update.hpp"
 
@@ -119,6 +120,8 @@ std::vector<BackendRun> run_algorithm(Algorithm alg, const std::string& platform
       return run_backends<PartreeBuilder>(platform, n, nprocs, backends, opts);
     case Algorithm::kSpace:
       return run_backends<SpaceBuilder>(platform, n, nprocs, backends, opts);
+    case Algorithm::kRadix:
+      return run_backends<RadixBuilder>(platform, n, nprocs, backends, opts);
   }
   PTB_CHECK_MSG(false, "unhandled algorithm");
   return {};
@@ -223,7 +226,8 @@ std::vector<EquivCase> all_cases() {
   std::vector<EquivCase> cases;
   for (Algorithm alg : all_algorithms())
     for (const char* platform :
-         {"challenge", "origin2000", "paragon", "typhoon0_hlrc", "typhoon0_sc"})
+         {"challenge", "origin2000", "paragon", "typhoon0_hlrc", "typhoon0_sc",
+          "numa2020", "simt2020"})
       cases.push_back(EquivCase{alg, platform});
   return cases;
 }

@@ -1,6 +1,9 @@
 // Geometry primitives: Vec3 algebra, cubes/octants, Morton keys.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "bh/aabb.hpp"
 #include "bh/morton.hpp"
 #include "bh/vec3.hpp"
@@ -114,6 +117,84 @@ TEST(Morton, ClampsOutOfRange) {
   EXPECT_EQ(k, morton_encode(0x1fffff, 0x1fffff, 0x1fffff));
   const auto lo = morton_key(Vec3{-100, -100, -100}, root);
   EXPECT_EQ(lo, 0u);
+}
+
+TEST(Morton, BoundaryCoordinatesStayInside) {
+  // A coordinate exactly on the AABB's high face is outside the half-open
+  // cube; the key must still clamp to the top quantum, never wrap to 0 or
+  // produce a 22nd bit. The low face maps to quantum 0.
+  const Cube root{Vec3{0.5, 0.5, 0.5}, 0.5};  // unit cube [0,1)^3
+  const auto hi = morton_key(Vec3{1.0, 1.0, 1.0}, root);
+  EXPECT_EQ(hi, morton_encode(0x1fffff, 0x1fffff, 0x1fffff));
+  const auto lo = morton_key(Vec3{0.0, 0.0, 0.0}, root);
+  EXPECT_EQ(lo, 0u);
+  // One ulp below the face still lands in the top quantum.
+  const double below = std::nextafter(1.0, 0.0);
+  EXPECT_EQ(morton_key(Vec3{below, below, below}, root), hi);
+  // Every key uses at most 63 bits (21 per axis).
+  EXPECT_EQ(hi >> 63, 0u);
+}
+
+TEST(Morton, TwentyOneBitPerAxisClamp) {
+  // Quantization saturates at 2^21 - 1 per axis: positions closer together
+  // than one quantum (2 * half / 2^21) can map to the SAME key, and the
+  // key can never resolve more than kMortonLevels octant triplets.
+  const Cube root{Vec3{0, 0, 0}, 1.0};
+  const double quantum = 2.0 / 2097152.0;
+  const Vec3 a{-1.0, -1.0, -1.0};
+  const Vec3 b{-1.0 + quantum / 4.0, -1.0, -1.0};  // sub-quantum apart
+  EXPECT_EQ(morton_key(a, root), morton_key(b, root));
+  const Vec3 c{-1.0 + 1.5 * quantum, -1.0, -1.0};  // more than one quantum
+  EXPECT_NE(morton_key(a, root), morton_key(c, root));
+}
+
+TEST(Morton, DuplicatePositionsShareAKey) {
+  Rng rng(17);
+  const Cube root{Vec3{0, 0, 0}, 2.0};
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    EXPECT_EQ(morton_key(p, root), morton_key(p, root));
+  }
+}
+
+TEST(Morton, OctantPathMatchesGeometricDescent) {
+  // The key's octant path (top-down 3-bit groups) must agree with the
+  // geometric descent Cube::octant_of takes through child cubes — this is
+  // the bridge that lets RADIX build the same tree the insertion builders
+  // build. Quantized and geometric descent agree until the descent cube
+  // shrinks to the key quantum, so check the first levels only.
+  Rng rng(23);
+  const Cube root{Vec3{0.25, -0.5, 1.0}, 3.0};
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{rng.uniform(root.center.x - 3, root.center.x + 3),
+                 rng.uniform(root.center.y - 3, root.center.y + 3),
+                 rng.uniform(root.center.z - 3, root.center.z + 3)};
+    const std::uint64_t key = morton_key(p, root);
+    Cube c = root;
+    for (int level = 0; level < 12; ++level) {
+      const int o = c.octant_of(p);
+      ASSERT_EQ(morton_octant(key, level), o)
+          << "level " << level << " point (" << p.x << "," << p.y << "," << p.z << ")";
+      c = c.child(o);
+    }
+  }
+}
+
+TEST(Morton, PrefixIdentifiesSharedCells) {
+  const Cube root{Vec3{0, 0, 0}, 1.0};
+  // Two points in the same root octant but different sub-octants: prefixes
+  // agree at level 0 and diverge at level 1.
+  const Vec3 a{0.1, 0.1, 0.1};   // octant 7, then octant 0 of that child
+  const Vec3 b{0.9, 0.9, 0.9};   // octant 7, then octant 7 of that child
+  const auto ka = morton_key(a, root);
+  const auto kb = morton_key(b, root);
+  EXPECT_EQ(morton_prefix(ka, 0), morton_prefix(kb, 0));
+  EXPECT_NE(morton_prefix(ka, 1), morton_prefix(kb, 1));
+  // The level-l prefix is the level-(l-1) prefix extended by the octant.
+  for (int level = 1; level < kMortonLevels; ++level)
+    EXPECT_EQ(morton_prefix(ka, level),
+              (morton_prefix(ka, level - 1) << 3) |
+                  static_cast<std::uint64_t>(morton_octant(ka, level)));
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a fresh bench JSON against a checked-in baseline.
 
-Usage: check_regression.py {anatomy,sched,mem,force} BASELINE.json NEW.json [--tolerance FRAC]
+Usage: check_regression.py {anatomy,radix,sched,mem,force} BASELINE.json NEW.json [--tolerance FRAC]
 
 One driver for every perf-regression gate; the per-bench differences (which
 micro rows to match, which throughput metric to compare, which rows are
@@ -63,6 +63,19 @@ CONFIGS = {
         "label": lambda row: f"{row['algorithm']:>8}/p{row['procs']}",
         "identity_bench": "anatomy_summary",
         "identity_message": "anatomy ledger perturbed virtual results (on vs off)",
+        "e2e": None,
+    },
+    "radix": {
+        "micro_bench": "radix_matrix",
+        "key_fields": ("platform", "algorithm"),
+        "metric": "speedup",
+        "unit": "x speedup",
+        # Virtual speedups are deterministic, so every cell is gated; the
+        # tolerance only absorbs intentional model retunes.
+        "gated": lambda row: True,
+        "label": lambda row: f"{row['platform']:>14}/{row['algorithm']:<6}",
+        "identity_bench": "radix_summary",
+        "identity_message": "RADIX virtual results diverged across scheduler backends",
         "e2e": None,
     },
     "force": {

@@ -61,7 +61,7 @@ namespace {
 // --- policy (keep in sync with ptblint.py) ---------------------------------
 
 const char *kDeterministicDirs[] = {"src/sim", "src/mem", "src/treebuild",
-                                    "src/bh", "src/rt"};
+                                    "src/bh", "src/rt", "src/platform"};
 const char *kObserverDirs[] = {"src/trace", "src/race", "src/prof",
                                "src/sight", "src/anatomy"};
 const char *kBuilderDirs[] = {"src/treebuild"};

@@ -49,7 +49,8 @@ import sys
 
 # --- policy: which checks apply where (paths relative to the repo root) -----
 
-DETERMINISTIC_DIRS = ("src/sim", "src/mem", "src/treebuild", "src/bh", "src/rt")
+DETERMINISTIC_DIRS = ("src/sim", "src/mem", "src/treebuild", "src/bh", "src/rt",
+                      "src/platform")
 OBSERVER_DIRS = ("src/trace", "src/race", "src/prof", "src/sight", "src/anatomy")
 BUILDER_DIRS = ("src/treebuild",)
 MEM_DIR = "src/mem"  # protocol models live here; decorators must not
